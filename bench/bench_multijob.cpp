@@ -1,0 +1,87 @@
+// E13 — The §IV.C multi-job mitigation: "this may be less noticeable when
+// using a larger number of jobs at the same time ... having work constantly
+// available at the scheduler should minimize the problem".
+//
+// With several jobs in flight, clients rarely receive an empty reply, so
+// backoff never escalates and finished results get reported on the next
+// (prompt) work-fetch RPC. We submit K concurrent word-count jobs and
+// report per-job makespans, aggregate throughput, and backoff counts.
+
+#include "bench_util.h"
+
+namespace vcmr {
+namespace {
+
+void run(int n_seeds) {
+  std::printf("E13 — CONCURRENT JOBS vs BACKOFF STARVATION (20 nodes, "
+              "500 MB per job, 20 maps, 5 reducers, %d seeds)\n\n",
+              n_seeds);
+  std::printf("%6s | %12s %12s | %14s | %10s | %10s\n", "jobs",
+              "mean job (s)", "last done(s)", "GB/hour", "backoffs",
+              "RPCs");
+  std::printf("%s\n", std::string(80, '=').c_str());
+
+  for (const int k : {1, 2, 4, 8}) {
+    double mean_total = 0, last_done = 0, backoffs = 0, rpcs = 0;
+    int runs = 0;
+    for (int i = 0; i < n_seeds; ++i) {
+      core::Scenario s;
+      s.seed = 60 + static_cast<std::uint64_t>(i);
+      s.n_nodes = 20;
+      s.time_limit = SimTime::hours(24);
+      core::Cluster cluster(s);
+      std::vector<server::MrJobSpec> specs;
+      for (int j = 0; j < k; ++j) {
+        server::MrJobSpec spec;
+        spec.name = "job" + std::to_string(j);
+        spec.app = "word_count";
+        spec.n_maps = 20;
+        spec.n_reducers = 5;
+        spec.input_size = 500LL * 1000 * 1000;
+        specs.push_back(spec);
+      }
+      const auto outcomes = cluster.run_jobs(specs);
+      bool all_ok = true;
+      double batch_last = 0;
+      for (const auto& o : outcomes) {
+        if (!o.metrics.completed) {
+          all_ok = false;
+          continue;
+        }
+        mean_total += o.metrics.total_seconds;
+        batch_last = std::max(batch_last, o.metrics.total_seconds);
+      }
+      if (all_ok) {
+        ++runs;
+        last_done += batch_last;
+        backoffs += static_cast<double>(outcomes.back().backoffs);
+        rpcs += static_cast<double>(outcomes.back().scheduler_rpcs);
+      }
+    }
+    if (runs > 0) {
+      mean_total /= runs * k;
+      last_done /= runs;
+      backoffs /= runs;
+      rpcs /= runs;
+    }
+    const double gb_per_hour =
+        last_done > 0 ? (0.5 * k) / (last_done / 3600.0) : 0;
+    std::printf("%6d | %12.0f %12.0f | %14.2f | %10.0f | %10.0f\n", k,
+                mean_total, last_done, gb_per_hour, backoffs, rpcs);
+  }
+  std::printf(
+      "\nExpected shape: per-job makespan grows sub-linearly with K while\n"
+      "aggregate GB/hour keeps rising — with work constantly available the\n"
+      "scheduler rarely sends a mid-run client away empty-handed, so the\n"
+      "backoff straggler stops dominating (backoffs grow only with the\n"
+      "longer end-of-run drain, not with per-job idling).\n");
+}
+
+}  // namespace
+}  // namespace vcmr
+
+int main(int argc, char** argv) {
+  vcmr::bench::silence_logs();
+  vcmr::run(argc > 1 ? std::atoi(argv[1]) : 3);
+  return 0;
+}

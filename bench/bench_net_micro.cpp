@@ -1,0 +1,110 @@
+// E12 — Substrate micro-benchmarks: event engine, fair-share allocator,
+// XML parsing, and a whole simulated job per second (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "common/xml.h"
+#include "core/cluster.h"
+#include "net/network.h"
+#include "proto/messages.h"
+#include "sim/simulation.h"
+
+namespace vcmr {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim(1);
+    for (int i = 0; i < 10000; ++i) {
+      sim.after(SimTime::micros(i), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_FairShareReallocation(benchmark::State& state) {
+  const int n_flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim(1);
+    net::Network net(sim);
+    const NodeId server = net.add_node(net::NodeConfig{});
+    // Every started flow triggers a full reallocation over all live flows.
+    for (int i = 0; i < n_flows; ++i) {
+      const NodeId c = net.add_node(net::NodeConfig{});
+      net::FlowSpec fs;
+      fs.src = server;
+      fs.dst = c;
+      fs.bytes = 1'000'000'000;
+      net.start_flow(std::move(fs));
+    }
+    benchmark::DoNotOptimize(net.active_flow_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n_flows);
+}
+BENCHMARK(BM_FairShareReallocation)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_SchedulerRpcXmlRoundTrip(benchmark::State& state) {
+  proto::SchedulerReply reply;
+  proto::AssignedTask t;
+  t.phase = proto::TaskPhase::kReduce;
+  for (int i = 0; i < 20; ++i) {
+    proto::InputFileSpec in;
+    in.name = "job_map_" + std::to_string(i) + "_0.part0";
+    in.size = 1000000;
+    proto::PeerLocation p;
+    p.map_index = i;
+    p.file_name = in.name;
+    p.endpoint = {NodeId{i}, 31416};
+    in.peers.push_back(p);
+    t.inputs.push_back(in);
+  }
+  reply.tasks.push_back(t);
+  const std::string xml = proto::to_xml(reply);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::reply_from_xml(xml));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_SchedulerRpcXmlRoundTrip);
+
+void BM_XmlParse(benchmark::State& state) {
+  common::XmlNode root("doc");
+  for (int i = 0; i < 100; ++i) {
+    auto& c = root.add_child("entry");
+    c.add_child_text("name", "item" + std::to_string(i));
+    c.add_child_text("value", std::to_string(i * 37));
+  }
+  const std::string xml = root.to_string();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::xml_parse(xml));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_FullSimulatedJob(benchmark::State& state) {
+  common::LogConfig::instance().set_level(common::LogLevel::kOff);
+  const bool mr = state.range(0) != 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::Scenario s;
+    s.seed = seed++;
+    s.n_nodes = 20;
+    s.n_maps = 20;
+    s.n_reducers = 5;
+    s.input_size = 1000LL * 1000 * 1000;
+    s.boinc_mr = mr;
+    core::Cluster cluster(s);
+    benchmark::DoNotOptimize(cluster.run_job());
+  }
+}
+BENCHMARK(BM_FullSimulatedJob)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vcmr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// E9 — TCP-Nice background transfers (§III.D future work, implemented).
+//
+// The paper wants inter-client serving to "make good use of the available
+// bandwidth" without hurting the volunteer: TCP-Nice yields to foreground
+// traffic. We reproduce Nice's canonical experiment shape on the flow
+// model: a mapper serves reduce fetches while the volunteer's own
+// foreground transfer runs on the same uplink. With Nice (background
+// class), the foreground transfer finishes as if alone; without it, fair
+// sharing slows the user's traffic.
+
+#include "bench_util.h"
+#include "client/interclient.h"
+
+namespace vcmr {
+namespace {
+
+struct Result {
+  double fg_seconds = 0;       ///< volunteer's own transfer completion
+  double serve_seconds = 0;    ///< last reduce fetch completion
+};
+
+Result run_one(bool nice, int n_fetchers) {
+  sim::Simulation sim(7);
+  net::Network net(sim);
+  net::NodeConfig cfg;  // 100 Mbit symmetric
+  const NodeId mapper = net.add_node(cfg);
+  const NodeId fg_dst = net.add_node(cfg);
+  std::vector<NodeId> reducers;
+  for (int i = 0; i < n_fetchers; ++i) reducers.push_back(net.add_node(cfg));
+
+  client::PeerRegistry registry;
+  client::MapOutputServerConfig scfg;
+  scfg.max_connections = n_fetchers;
+  scfg.background_priority = nice;
+  client::MapOutputServer server(sim, net, mapper, {mapper, 31416}, registry,
+                                 scfg);
+  const Bytes part = 25LL * 1000 * 1000;
+  server.offer("part", mr::FilePayload::of_size(part, common::Hasher::of("p")));
+
+  Result res;
+  // The volunteer's own (foreground) upload: 25 MB, 2 s alone at 100 Mbit.
+  net::FlowSpec fg;
+  fg.src = mapper;
+  fg.dst = fg_dst;
+  fg.bytes = part;
+  fg.on_complete = [&] { res.fg_seconds = sim.now().as_seconds(); };
+  net.start_flow(std::move(fg));
+
+  int served = 0;
+  for (const NodeId r : reducers) {
+    server.start_serving(r, "part", std::nullopt,
+                         [&, n_fetchers](const mr::FilePayload&) {
+                           if (++served == n_fetchers) {
+                             res.serve_seconds = sim.now().as_seconds();
+                           }
+                         },
+                         nullptr);
+  }
+  sim.run();
+  return res;
+}
+
+void run() {
+  const double alone = 25.0 * 8 / 100.0;  // 25 MB at 100 Mbit
+  std::printf("E9 — TCP-NICE BACKGROUND SERVING (mapper uplink 100 Mbit, "
+              "25 MB foreground transfer, 25 MB per reduce fetch)\n\n");
+  std::printf("%9s | %-10s | %12s %14s | %14s\n", "fetchers", "mode",
+              "fg done (s)", "fg slowdown", "serving done(s)");
+  std::printf("%s\n", std::string(72, '=').c_str());
+  for (const int n : {1, 2, 4, 8}) {
+    for (const bool nice : {false, true}) {
+      const Result r = run_one(nice, n);
+      std::printf("%9d | %-10s | %12.1f %13.2fx | %14.1f\n", n,
+                  nice ? "nice (bg)" : "fair", r.fg_seconds,
+                  r.fg_seconds / alone, r.serve_seconds);
+    }
+  }
+  std::printf(
+      "\nExpected shape: with Nice the foreground transfer always finishes in\n"
+      "~%.0f s (slowdown ~1x) regardless of serving load, while fair sharing\n"
+      "slows it by (fetchers+1)x; Nice's cost is a longer serving tail.\n",
+      alone);
+}
+
+}  // namespace
+}  // namespace vcmr
+
+int main() {
+  vcmr::bench::silence_logs();
+  vcmr::run();
+  return 0;
+}

@@ -1,0 +1,742 @@
+#include "client/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "mr/task.h"
+#include "server/jobtracker.h"
+
+namespace vcmr::client {
+
+namespace {
+common::Logger log_("client");
+}
+
+Client::Client(sim::Simulation& sim, net::Network& net, net::HttpService& http,
+               server::DataServer& data, net::Endpoint scheduler_ep,
+               const db::HostRecord& host_rec, const HostSpec& spec,
+               PeerRegistry& registry, net::ConnectionEstablisher* establisher,
+               ClientConfig cfg, sim::TraceRecorder* trace)
+    : sim_(sim),
+      net_(net),
+      http_(http),
+      data_(data),
+      scheduler_ep_(scheduler_ep),
+      host_id_(host_rec.id),
+      node_(host_rec.node),
+      spec_(spec),
+      cfg_(cfg),
+      trace_(trace),
+      actor_(host_rec.name),
+      serve_(sim, net, host_rec.node, host_rec.mr_endpoint, registry,
+             cfg.serve),
+      fetcher_(sim, net, host_rec.node, registry, establisher, cfg.peer_fetch),
+      backoff_(cfg.backoff_min, cfg.backoff_max,
+               sim.rng_stream("client.backoff",
+                              static_cast<std::uint64_t>(host_rec.id.value())),
+               cfg.backoff_jitter),
+      byz_rng_(sim.rng_stream("client.byzantine",
+                              static_cast<std::uint64_t>(host_rec.id.value()))) {
+  mr::register_builtin_apps();
+}
+
+Client::~Client() {
+  sim_.cancel(rpc_event_);
+  for (auto& [id, t] : tasks_) sim_.cancel(t.run_event);
+}
+
+void Client::start() {
+  require(!started_, "Client::start called twice");
+  started_ = true;
+  // Stagger first contact: volunteers do not all dial in at t=0.
+  const double frac =
+      sim_.rng_stream("client.start",
+                      static_cast<std::uint64_t>(host_id_.value()))
+          .uniform();
+  next_allowed_rpc_ = SimTime::seconds(cfg_.initial_rpc_jitter.as_seconds() * frac);
+  consider_rpc();
+}
+
+// --- trace helpers --------------------------------------------------------
+
+void Client::trace_point(const std::string& label, const std::string& detail) {
+  if (trace_) trace_->point(sim_.now(), actor_, label, detail);
+}
+std::size_t Client::trace_begin(const std::string& label,
+                                const std::string& detail) {
+  return trace_ ? trace_->begin_span(sim_.now(), actor_, label, detail) : 0;
+}
+void Client::trace_end(std::size_t token) {
+  if (trace_) trace_->end_span(token, sim_.now());
+}
+
+// --- RPC -----------------------------------------------------------------
+
+bool Client::want_work() const {
+  return buffered_seconds() < cfg_.work_buf_min_seconds;
+}
+
+bool Client::want_locations() const {
+  for (const auto& [id, t] : tasks_) {
+    if (t.state == TaskState::kDownloading && !t.assign.inputs_complete) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Client::want_report_now() const {
+  bool any_ready = false;
+  bool any_ready_map = false;
+  for (const auto& [id, t] : tasks_) {
+    if (t.state == TaskState::kReadyToReport) {
+      any_ready = true;
+      if (t.assign.phase == proto::TaskPhase::kMap) any_ready_map = true;
+    }
+  }
+  if (!any_ready) return false;
+  if (cfg_.report_results_immediately) return true;
+  return server_wants_immediate_reports_ && any_ready_map;
+}
+
+double Client::buffered_seconds() const {
+  double total = 0;
+  for (const auto& [id, t] : tasks_) {
+    if (t.state == TaskState::kDownloading || t.state == TaskState::kReady ||
+        t.state == TaskState::kRunning) {
+      total += t.assign.flops_estimate / spec_.flops;
+    }
+  }
+  return total;
+}
+
+void Client::consider_rpc() {
+  if (!online_ || rpc_in_flight_ || !started_) return;
+  const bool report_now = want_report_now();
+  const bool work = want_work() || want_locations();
+  if (!report_now && !work) {
+    sim_.cancel(rpc_event_);
+    rpc_event_ = sim::EventHandle{};
+    return;
+  }
+  SimTime t = std::max(sim_.now(), next_allowed_rpc_);
+  // Immediate reporting (mitigation E4) bypasses the backoff window; an
+  // ordinary work-fetch does not (§IV.B).
+  if (!report_now) t = std::max(t, backoff_until_);
+  sim_.cancel(rpc_event_);
+  rpc_event_ = sim_.at(t, [this] { do_rpc(); });
+}
+
+void Client::do_rpc() {
+  if (!online_ || rpc_in_flight_) return;
+  if (backoff_span_) {
+    trace_end(*backoff_span_);
+    backoff_span_.reset();
+  }
+
+  proto::SchedulerRequest req;
+  req.host_id = host_id_.value();
+  req.mr_capable = cfg_.mr_capable;
+  req.serving_endpoint = serve_.endpoint();
+  if (cfg_.cache_inputs) req.cached_files = cached_input_names_;
+  int queued = 0;
+  for (const auto& [id, t] : tasks_) {
+    if (t.state == TaskState::kDownloading || t.state == TaskState::kReady ||
+        t.state == TaskState::kRunning) {
+      ++queued;
+    }
+  }
+  req.tasks_queued = queued;
+  req.remaining_work_seconds = buffered_seconds();
+  const bool requesting = want_work() || want_locations();
+  if (requesting) {
+    req.work_request_seconds =
+        std::max(60.0, cfg_.work_buf_min_seconds - buffered_seconds());
+  }
+
+  std::vector<std::int64_t> reported_ids;
+  for (auto& [id, t] : tasks_) {
+    if (t.state != TaskState::kReadyToReport) continue;
+    t.state = TaskState::kReporting;
+    proto::ReportedResult rep;
+    rep.result_id = id;
+    rep.name = t.assign.result_name;
+    rep.success = t.report_success;
+    rep.digest = t.digest;
+    rep.output_bytes = t.output_bytes;
+    // BOINC's cobblestone-style claim: normalized work done.
+    rep.claimed_credit =
+        t.flops_actual / 1e9 * cfg_.credit_claim_inflation;
+    rep.outputs = t.outputs;
+    req.reports.push_back(std::move(rep));
+    reported_ids.push_back(id);
+    trace_point("report", t.assign.result_name);
+  }
+
+  rpc_in_flight_ = true;
+  ++stats_.rpcs;
+
+  net::HttpRequest hreq;
+  hreq.method = "POST";
+  hreq.path = "/scheduler";
+  hreq.body = proto::to_xml(req);
+  hreq.body_size = static_cast<Bytes>(hreq.body.size());
+  http_.request(
+      node_, scheduler_ep_, std::move(hreq),
+      [this, requesting, reported_ids](const net::HttpResponse& resp) {
+        if (!resp.ok()) {
+          on_rpc_fail(reported_ids);
+          return;
+        }
+        on_reply(proto::reply_from_xml(resp.body), requesting, reported_ids);
+      },
+      [this, reported_ids](net::NetError) { on_rpc_fail(reported_ids); });
+}
+
+void Client::on_rpc_fail(std::vector<std::int64_t> reported_ids) {
+  rpc_in_flight_ = false;
+  ++stats_.rpc_failures;
+  // Reports were not delivered; queue them again.
+  for (const std::int64_t id : reported_ids) {
+    if (Task* t = find_task(id)) {
+      if (t->state == TaskState::kReporting) t->state = TaskState::kReadyToReport;
+    }
+  }
+  backoff_until_ = sim_.now() + backoff_.next();
+  ++stats_.backoffs;
+  consider_rpc();
+}
+
+void Client::on_reply(const proto::SchedulerReply& reply, bool requested_work,
+                      std::vector<std::int64_t> reported_ids) {
+  rpc_in_flight_ = false;
+  next_allowed_rpc_ = sim_.now() + reply.request_delay;
+  server_wants_immediate_reports_ = reply.report_map_results_immediately;
+  if (reply.keep_serving) {
+    // §III.C: reduce work referencing our outputs is still in flight;
+    // re-arm the serve timeouts so the files stay available. The window
+    // must outlive our silence: the next chance to re-arm is the next
+    // scheduler reply, which backoff can push out by up to backoff_max.
+    serve_.reset_timeouts(cfg_.backoff_max + SimTime::minutes(2));
+  } else if (cfg_.mr_capable && serve_.serving()) {
+    // Nothing unfinished references our map outputs: stop serving them
+    // ("This happens when the MapReduce job has finished"). Cached input
+    // seeds (E15) stay up for other replicas and expire by timeout.
+    for (const std::string& name : serve_.served_names()) {
+      if (std::find(cached_input_names_.begin(), cached_input_names_.end(),
+                    name) == cached_input_names_.end()) {
+        serve_.withdraw(name);
+      }
+    }
+  }
+
+  for (const std::int64_t id : reported_ids) {
+    const auto it = tasks_.find(id);
+    if (it != tasks_.end() && it->second.state == TaskState::kReporting) {
+      ++stats_.results_reported;
+      tasks_.erase(it);
+    }
+  }
+
+  for (const auto& upd : reply.location_updates) apply_location_update(upd);
+  for (const auto& assign : reply.tasks) accept_task(assign);
+
+  if (requested_work) {
+    if (reply.tasks.empty()) {
+      backoff_until_ = sim_.now() + backoff_.next();
+      ++stats_.backoffs;
+      backoff_span_ = trace_begin("backoff", "");
+    } else {
+      backoff_.reset();
+      backoff_until_ = SimTime::zero();
+    }
+  }
+
+  pump_downloads();
+  maybe_execute();
+  consider_rpc();
+}
+
+// --- task intake -----------------------------------------------------------
+
+void Client::accept_task(const proto::AssignedTask& assign) {
+  ++stats_.tasks_received;
+  trace_point("assign", assign.result_name);
+
+  Task t;
+  t.assign = assign;
+  t.received = sim_.now();
+  for (const auto& spec : assign.inputs) {
+    TaskInput in;
+    in.spec = spec;
+    in.server_retries_left = cfg_.transfer_retries;
+    t.inputs.push_back(std::move(in));
+  }
+  const std::int64_t id = assign.result_id;
+  auto [it, inserted] = tasks_.emplace(id, std::move(t));
+  if (!inserted) return;  // duplicate assignment; keep the original
+
+  for (const auto& in : it->second.inputs) {
+    download_queue_.emplace_back(id, in.spec.name);
+  }
+  pump_downloads();
+  check_ready(it->second);
+}
+
+void Client::apply_location_update(const proto::LocationUpdate& upd) {
+  Task* t = find_task(upd.result_id);
+  if (t == nullptr || t->state != TaskState::kDownloading) return;
+  for (const auto& peer : upd.peers) {
+    const bool known =
+        std::any_of(t->inputs.begin(), t->inputs.end(),
+                    [&](const TaskInput& in) { return in.spec.name == peer.file_name; });
+    if (known) continue;
+    TaskInput in;
+    in.spec.name = peer.file_name;
+    in.spec.size = peer.size;
+    in.spec.on_server = peer.on_server;
+    in.spec.peers.push_back(peer);
+    in.server_retries_left = cfg_.transfer_retries;
+    t->inputs.push_back(std::move(in));
+    download_queue_.emplace_back(upd.result_id, peer.file_name);
+  }
+  if (upd.complete) t->assign.inputs_complete = true;
+  pump_downloads();
+  check_ready(*t);
+}
+
+// --- downloads ----------------------------------------------------------------
+
+void Client::pump_downloads() {
+  if (!online_) return;
+  while (downloads_active_ < cfg_.max_file_xfers && !download_queue_.empty()) {
+    const auto [id, name] = download_queue_.front();
+    download_queue_.pop_front();
+    Task* t = find_task(id);
+    if (t == nullptr || t->state != TaskState::kDownloading) continue;
+    const auto it =
+        std::find_if(t->inputs.begin(), t->inputs.end(),
+                     [&](const TaskInput& in) { return in.spec.name == name; });
+    if (it == t->inputs.end() || it->have || it->active) continue;
+    start_input_fetch(*t, *it);
+  }
+}
+
+void Client::start_input_fetch(Task& task, TaskInput& input) {
+  // The file may already be local: this host produced it as a mapper, or a
+  // re-assigned task shares inputs. Local disk reads cost no network.
+  const auto cached = local_files_.find(input.spec.name);
+  if (cached != local_files_.end()) {
+    input.have = true;
+    stats_.bytes_read_locally += cached->second.size;
+    trace_point("local_read", input.spec.name);
+    check_ready(task);
+    return;
+  }
+
+  const std::int64_t id = task.assign.result_id;
+  const std::string name = input.spec.name;
+  input.active = true;
+  ++downloads_active_;
+  const std::size_t span = trace_begin("download", name);
+
+  const bool via_peer =
+      cfg_.mr_capable && !input.use_server && !input.spec.peers.empty();
+  if (via_peer) {
+    const proto::PeerLocation& loc = input.spec.peers.front();
+    fetcher_.fetch(
+        loc.endpoint, name, loc.size,
+        [this, id, name, span](const mr::FilePayload& p) {
+          trace_end(span);
+          input_done(id, name, p);
+        },
+        [this, id, name, span](const std::string& why) {
+          trace_end(span);
+          input_failed(id, name, why, /*was_peer=*/true);
+        });
+    return;
+  }
+
+  if (!input.spec.on_server) {
+    // No usable source: plain client facing peer-only data.
+    trace_end(span);
+    input.active = false;
+    --downloads_active_;
+    fail_task(task, "no reachable source for " + name);
+    return;
+  }
+
+  data_.download(
+      node_, name,
+      [this, id, name, span](const mr::FilePayload& p) {
+        trace_end(span);
+        stats_.bytes_downloaded_server += p.size;
+        input_done(id, name, p);
+      },
+      [this, id, name, span](const std::string& why) {
+        trace_end(span);
+        input_failed(id, name, why, /*was_peer=*/false);
+      });
+}
+
+void Client::input_done(std::int64_t result_id, const std::string& name,
+                        const mr::FilePayload& payload) {
+  --downloads_active_;
+  local_files_[name] = payload;
+  if (cfg_.cache_inputs && cfg_.mr_capable) {
+    Task* t = find_task(result_id);
+    if (t != nullptr && t->assign.phase == proto::TaskPhase::kMap) {
+      // E15: become a seeder for this input chunk.
+      serve_.offer(name, payload);
+      if (std::find(cached_input_names_.begin(), cached_input_names_.end(),
+                    name) == cached_input_names_.end()) {
+        cached_input_names_.push_back(name);
+      }
+    }
+  }
+  Task* t = find_task(result_id);
+  if (t != nullptr) {
+    const auto it =
+        std::find_if(t->inputs.begin(), t->inputs.end(),
+                     [&](const TaskInput& in) { return in.spec.name == name; });
+    if (it != t->inputs.end()) {
+      it->active = false;
+      it->have = true;
+    }
+    check_ready(*t);
+  }
+  pump_downloads();
+}
+
+void Client::input_failed(std::int64_t result_id, const std::string& name,
+                          const std::string& why, bool was_peer) {
+  --downloads_active_;
+  Task* t = find_task(result_id);
+  if (t == nullptr || t->state != TaskState::kDownloading) {
+    pump_downloads();
+    return;
+  }
+  const auto it =
+      std::find_if(t->inputs.begin(), t->inputs.end(),
+                   [&](const TaskInput& in) { return in.spec.name == name; });
+  if (it == t->inputs.end()) {
+    pump_downloads();
+    return;
+  }
+  it->active = false;
+
+  if (was_peer) {
+    if (it->spec.on_server) {
+      // §III.C fallback: after n failed attempts, fetch from the server.
+      log_.debug(actor_, ": falling back to server for ", name, " (", why, ")");
+      ++stats_.server_fallbacks;
+      it->use_server = true;
+      download_queue_.emplace_back(result_id, name);
+    } else {
+      fail_task(*t, "peer fetch failed with no server mirror: " + why);
+    }
+  } else {
+    if (--it->server_retries_left > 0) {
+      const std::int64_t id = result_id;
+      sim_.after(cfg_.transfer_retry_delay, [this, id, name] {
+        if (Task* task = find_task(id); task != nullptr &&
+            task->state == TaskState::kDownloading) {
+          download_queue_.emplace_back(id, name);
+          pump_downloads();
+        }
+      });
+    } else {
+      fail_task(*t, "server transfer failed: " + why);
+    }
+  }
+  pump_downloads();
+}
+
+void Client::check_ready(Task& task) {
+  if (task.state != TaskState::kDownloading) return;
+  if (!task.assign.inputs_complete) return;
+  if (task.assign.phase == proto::TaskPhase::kReduce &&
+      static_cast<int>(task.inputs.size()) < task.assign.n_maps) {
+    return;  // pipelined mode: more inputs still unknown
+  }
+  for (const auto& in : task.inputs) {
+    if (!in.have) return;
+  }
+  task.state = TaskState::kReady;
+  maybe_execute();
+}
+
+// --- execution --------------------------------------------------------------
+
+const mr::MapReduceApp& Client::app_for(const Task& task) const {
+  const mr::MapReduceApp* app =
+      mr::AppRegistry::instance().find(task.assign.app);
+  require(app != nullptr, "client: unknown app in assignment");
+  return *app;
+}
+
+void Client::maybe_execute() {
+  // Fill every free core (BOINC runs one task per CPU).
+  while (online_ && running_count_ < spec_.cores) {
+    Task* next = nullptr;
+    for (auto& [id, t] : tasks_) {
+      if (t.state != TaskState::kReady) continue;
+      if (next == nullptr || t.received < next->received) next = &t;
+    }
+    if (next == nullptr) return;
+    start_execution(*next);
+  }
+}
+
+void Client::start_execution(Task& t) {
+  t.state = TaskState::kRunning;
+  ++running_count_;
+  const mr::MapReduceApp& app = app_for(t);
+
+  double flops = 0;
+  if (t.assign.phase == proto::TaskPhase::kReduce) {
+    // Inputs sorted by map index: replicas must concatenate identically.
+    std::vector<const TaskInput*> order;
+    for (const auto& in : t.inputs) order.push_back(&in);
+    std::sort(order.begin(), order.end(),
+              [](const TaskInput* a, const TaskInput* b) {
+                const int ma = a->spec.peers.empty() ? 0 : a->spec.peers[0].map_index;
+                const int mb = b->spec.peers.empty() ? 0 : b->spec.peers[0].map_index;
+                if (ma != mb) return ma < mb;
+                return a->spec.name < b->spec.name;
+              });
+    std::vector<mr::FilePayload> inputs;
+    for (const TaskInput* in : order) {
+      inputs.push_back(local_files_.at(in->spec.name));
+    }
+    const mr::ReduceTaskResult r =
+        mr::run_reduce_task(app, inputs, t.assign.wu_name);
+    flops = r.flops;
+    t.digest = r.digest;
+    t.output_bytes = r.output.size;
+    const std::string out_name =
+        server::JobTracker::reduce_output_name(t.assign.result_name);
+    proto::OutputFileInfo info;
+    info.name = out_name;
+    info.size = r.output.size;
+    info.digest = r.output.digest;
+    t.outputs.push_back(info);
+    t.pending_uploads.emplace_back(out_name, r.output);
+  } else {
+    // Map (and plain) tasks read their single staged input.
+    require(!t.inputs.empty(), "map task with no input");
+    const mr::FilePayload& chunk = local_files_.at(t.inputs[0].spec.name);
+    const mr::MapTaskResult r = mr::run_map_task(
+        app, chunk, std::max(1, t.assign.n_reducers), t.assign.wu_name);
+    flops = r.flops;
+    t.digest = r.digest;
+    for (int p = 0; p < static_cast<int>(r.partitions.size()); ++p) {
+      const mr::FilePayload& part = r.partitions[static_cast<std::size_t>(p)];
+      const std::string out_name =
+          server::JobTracker::map_output_name(t.assign.result_name, p);
+      proto::OutputFileInfo info;
+      info.name = out_name;
+      info.size = part.size;
+      info.digest = part.digest;
+      info.reduce_partition = p;
+      t.outputs.push_back(info);
+      t.output_bytes += part.size;
+      t.pending_uploads.emplace_back(out_name, part);
+    }
+  }
+
+  t.flops_actual = flops;
+  const double duration_s = flops / spec_.flops;
+  t.run_started = sim_.now();
+  t.run_remaining = SimTime::seconds(duration_s);
+  t.compute_span = trace_begin("compute", t.assign.result_name);
+  const std::int64_t id = t.assign.result_id;
+  t.run_event = sim_.after(t.run_remaining, [this, id] {
+    if (Task* task = find_task(id)) finish_execution(*task);
+  });
+}
+
+void Client::finish_execution(Task& task) {
+  trace_end(task.compute_span);
+  --running_count_;
+  ++stats_.tasks_completed;
+
+  // Byzantine model: a faulty/malicious client reports a corrupted digest
+  // (the quorum validator is what catches this, §III.B).
+  if (cfg_.error_probability > 0 && byz_rng_.chance(cfg_.error_probability)) {
+    task.digest.lo ^= byz_rng_.next_u64() | 1;
+    for (auto& [name, payload] : task.pending_uploads) {
+      (void)name;
+      payload.digest.lo ^= 1;
+    }
+    for (auto& out : task.outputs) out.digest.lo ^= 1;
+  }
+
+  // Outputs now exist on this client's disk; a later reduce task assigned
+  // here reads them locally instead of fetching (data locality).
+  for (const auto& [name, payload] : task.pending_uploads) {
+    local_files_[name] = payload;
+  }
+
+  // BOINC-MR: serve map outputs to reducers from this client.
+  if (cfg_.mr_capable && task.assign.phase == proto::TaskPhase::kMap) {
+    for (const auto& [name, payload] : task.pending_uploads) {
+      serve_.offer(name, payload);
+    }
+  }
+
+  start_uploads(task);
+  maybe_execute();
+}
+
+void Client::start_uploads(Task& task) {
+  task.state = TaskState::kUploading;
+
+  const bool skip_server_upload = cfg_.mr_capable &&
+                                  task.assign.phase == proto::TaskPhase::kMap &&
+                                  !cfg_.mirror_map_outputs;
+  if (skip_server_upload || task.pending_uploads.empty()) {
+    // BOINC-MR without mirroring reports digests only (§III.B: "map
+    // outputs should not be uploaded to the server; instead, each
+    // output's hash would be reported back").
+    mark_ready_to_report(task);
+    return;
+  }
+
+  for (auto& out : task.outputs) out.uploaded = true;
+  task.uploads_in_flight = static_cast<int>(task.pending_uploads.size());
+  pump_uploads(task);
+}
+
+void Client::pump_uploads(Task& task) {
+  // Start every pending upload; the flow network arbitrates bandwidth the
+  // way libcurl's parallel transfers would.
+  auto uploads = std::move(task.pending_uploads);
+  task.pending_uploads.clear();
+  const std::int64_t id = task.assign.result_id;
+  for (auto& [name, payload] : uploads) {
+    upload_output(id, name, std::move(payload));
+  }
+}
+
+void Client::upload_output(std::int64_t result_id, const std::string& name,
+                           mr::FilePayload payload) {
+  if (!online_) {
+    // Parked until set_online(true) re-pumps the task's uploads.
+    if (Task* t = find_task(result_id)) {
+      t->pending_uploads.emplace_back(name, std::move(payload));
+    }
+    return;
+  }
+  const std::size_t span = trace_begin("upload", name);
+  const Bytes size = payload.size;
+  // Copy before the call: `payload` is moved into the failure lambda below,
+  // and argument evaluation order is unspecified.
+  mr::FilePayload to_send = payload;
+  data_.upload(
+      node_, name, std::move(to_send),
+      [this, result_id, span, size] {
+        trace_end(span);
+        stats_.bytes_uploaded_server += size;
+        if (Task* t = find_task(result_id)) {
+          if (--t->uploads_in_flight == 0) mark_ready_to_report(*t);
+        }
+      },
+      [this, result_id, span, name,
+       payload = std::move(payload)](const std::string& why) mutable {
+        trace_end(span);
+        log_.debug(actor_, ": upload of ", name, " failed (", why,
+                   "); retrying");
+        sim_.after(cfg_.transfer_retry_delay,
+                   [this, result_id, name,
+                    payload = std::move(payload)]() mutable {
+                     if (find_task(result_id) != nullptr) {
+                       upload_output(result_id, name, std::move(payload));
+                     }
+                   });
+      });
+}
+
+void Client::mark_ready_to_report(Task& task) {
+  task.state = TaskState::kReadyToReport;
+  trace_point("uploaded", task.assign.result_name);
+  consider_rpc();
+}
+
+void Client::fail_task(Task& task, const std::string& why) {
+  if (task.state == TaskState::kReadyToReport ||
+      task.state == TaskState::kReporting) {
+    return;
+  }
+  log_.warn(actor_, ": task ", task.assign.result_name, " failed: ", why);
+  ++stats_.tasks_failed;
+  task.report_success = false;
+  task.outputs.clear();
+  task.pending_uploads.clear();
+  task.state = TaskState::kReadyToReport;
+  consider_rpc();
+}
+
+Client::Task* Client::find_task(std::int64_t result_id) {
+  const auto it = tasks_.find(result_id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+// --- availability -------------------------------------------------------------
+
+void Client::set_online(bool online) {
+  if (online_ == online) return;
+  online_ = online;
+  net_.set_online(node_, online);
+  if (!online) {
+    sim_.cancel(rpc_event_);
+    rpc_event_ = sim::EventHandle{};
+    for (auto& [id, t] : tasks_) {
+      if (t.state != TaskState::kRunning) continue;
+      // Suspension rolls the task back to its last checkpoint: progress
+      // made since then is lost (BOINC apps checkpoint periodically).
+      sim_.cancel(t.run_event);
+      SimTime done = sim_.now() - t.run_started;
+      const double ckpt = cfg_.checkpoint_period.as_seconds();
+      if (ckpt > 0) {
+        const double kept =
+            std::floor(done.as_seconds() / ckpt) * ckpt;
+        done = SimTime::seconds(kept);
+      }
+      t.run_remaining = std::max(SimTime::zero(), t.run_remaining - done);
+      trace_end(t.compute_span);
+    }
+    trace_point("offline", "");
+    return;
+  }
+  trace_point("online", "");
+  for (auto& [id, t] : tasks_) {
+    if (t.state != TaskState::kRunning) continue;
+    t.run_started = sim_.now();
+    t.compute_span = trace_begin("compute", t.assign.result_name);
+    const std::int64_t rid = id;
+    t.run_event = sim_.after(t.run_remaining, [this, rid] {
+      if (Task* task = find_task(rid)) finish_execution(*task);
+    });
+  }
+  // Re-arm interrupted downloads and uploads.
+  for (auto& [id, t] : tasks_) {
+    if (t.state == TaskState::kDownloading) {
+      for (auto& in : t.inputs) {
+        if (!in.have && !in.active) download_queue_.emplace_back(id, in.spec.name);
+      }
+    }
+    if (t.state == TaskState::kUploading && !t.pending_uploads.empty()) {
+      pump_uploads(t);
+    }
+  }
+  pump_downloads();
+  maybe_execute();
+  consider_rpc();
+}
+
+bool Client::idle() const { return tasks_.empty() && !rpc_in_flight_; }
+
+}  // namespace vcmr::client

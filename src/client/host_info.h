@@ -1,0 +1,58 @@
+#pragma once
+// Host hardware models.
+//
+// The paper's testbed mixes two Emulab node types (§IV.A): pc3001
+// (Dell PowerEdge 2850, 3 GHz Pentium 4 Xeon, 1 GB RAM) and pcr200
+// (Dell PowerEdge R200, quad-core Xeon X3220, 8 GB). The flops figures
+// below are *effective* rates for byte-crunching MapReduce work (word
+// count is memory/IO bound, nowhere near peak FP throughput), sized so a
+// 50 MB word-count map task lands in the tens of seconds as on the paper's
+// hardware.
+
+#include <string>
+
+#include "common/types.h"
+
+namespace vcmr::client {
+
+struct HostSpec {
+  std::string type_name = "generic";
+  double flops = 1.0e9;  ///< effective ops/s for task-duration modelling
+  int cores = 1;         ///< concurrently running tasks
+  double up_bps = 100e6 / 8;    ///< access link, bytes/s (Emulab: 100 Mbit)
+  double down_bps = 100e6 / 8;
+  SimTime latency = SimTime::millis(1);  ///< testbed LAN; Internet ~20-50ms
+};
+
+/// Dell PowerEdge 2850 — 3 GHz Pentium 4 Xeon.
+inline HostSpec pc3001() {
+  HostSpec s;
+  s.type_name = "pc3001";
+  s.flops = 0.9e9;
+  s.cores = 1;
+  return s;
+}
+
+/// Dell PowerEdge R200 — quad-core Xeon X3220 (2.4 GHz).
+inline HostSpec pcr200() {
+  HostSpec s;
+  s.type_name = "pcr200";
+  s.flops = 1.8e9;  // per-core; BOINC projects of the era ran 1 task/host
+  s.cores = 1;
+  return s;
+}
+
+/// A broadband volunteer PC (for Internet-scale scenarios): asymmetric
+/// last-mile link and WAN latency.
+inline HostSpec broadband_volunteer() {
+  HostSpec s;
+  s.type_name = "broadband";
+  s.flops = 1.5e9;
+  s.cores = 1;
+  s.down_bps = 16e6 / 8;
+  s.up_bps = 2e6 / 8;
+  s.latency = SimTime::millis(25);
+  return s;
+}
+
+}  // namespace vcmr::client

@@ -1,0 +1,211 @@
+#include "client/interclient.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace vcmr::client {
+
+namespace {
+common::Logger log_("interclient");
+}
+
+// --- PeerRegistry -------------------------------------------------------------
+
+void PeerRegistry::add(net::Endpoint ep, MapOutputServer* server) {
+  require(server != nullptr, "PeerRegistry::add: null server");
+  servers_[ep] = server;
+}
+
+void PeerRegistry::remove(net::Endpoint ep) { servers_.erase(ep); }
+
+MapOutputServer* PeerRegistry::find(net::Endpoint ep) const {
+  const auto it = servers_.find(ep);
+  return it == servers_.end() ? nullptr : it->second;
+}
+
+// --- MapOutputServer -----------------------------------------------------------
+
+MapOutputServer::MapOutputServer(sim::Simulation& sim, net::Network& net,
+                                 NodeId node, net::Endpoint endpoint,
+                                 PeerRegistry& registry,
+                                 MapOutputServerConfig cfg)
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      ep_(endpoint),
+      registry_(registry),
+      cfg_(cfg) {}
+
+MapOutputServer::~MapOutputServer() { withdraw_all(); }
+
+void MapOutputServer::offer(const std::string& name, mr::FilePayload payload) {
+  if (!registered_) {
+    registry_.add(ep_, this);
+    registered_ = true;
+  }
+  Entry& e = files_[name];
+  sim_.cancel(e.timeout);
+  e.payload = std::move(payload);
+  arm_timeout(name, SimTime::zero());
+}
+
+void MapOutputServer::arm_timeout(const std::string& name, SimTime horizon) {
+  Entry& e = files_.at(name);
+  const SimTime window = std::max(cfg_.serve_timeout, horizon);
+  e.timeout = sim_.after(window, [this, name] {
+    log_.debug("serve timeout for ", name, "; withdrawing");
+    withdraw(name);
+  });
+}
+
+void MapOutputServer::reset_timeouts(SimTime horizon) {
+  for (auto& [name, e] : files_) {
+    sim_.cancel(e.timeout);
+    arm_timeout(name, horizon);
+  }
+}
+
+void MapOutputServer::withdraw(const std::string& name) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return;
+  sim_.cancel(it->second.timeout);
+  files_.erase(it);
+  if (files_.empty() && registered_) {
+    // "stop accepting connections when there are no more files available"
+    registry_.remove(ep_);
+    registered_ = false;
+  }
+}
+
+std::vector<std::string> MapOutputServer::served_names() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, e] : files_) out.push_back(name);
+  return out;
+}
+
+void MapOutputServer::withdraw_all() {
+  while (!files_.empty()) withdraw(files_.begin()->first);
+}
+
+bool MapOutputServer::start_serving(
+    NodeId requester, const std::string& name, std::optional<NodeId> relay,
+    std::function<void(const mr::FilePayload&)> on_done,
+    std::function<void(net::NetError)> on_fail) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    ++stats_.rejected_missing;
+    return false;
+  }
+  if (active_ >= cfg_.max_connections) {
+    ++stats_.rejected_busy;
+    return false;
+  }
+  ++active_;
+  // Activity resets the file's timeout.
+  sim_.cancel(it->second.timeout);
+  arm_timeout(name, SimTime::zero());
+
+  const mr::FilePayload payload = it->second.payload;
+  net::FlowSpec fs;
+  fs.src = node_;
+  fs.dst = requester;
+  fs.bytes = payload.size;
+  fs.priority = cfg_.background_priority ? net::FlowPriority::kBackground
+                                         : net::FlowPriority::kForeground;
+  fs.relay = relay;
+  fs.on_complete = [this, payload, on_done = std::move(on_done)] {
+    --active_;
+    ++stats_.served;
+    stats_.bytes_served += payload.size;
+    if (on_done) on_done(payload);
+  };
+  fs.on_fail = [this, on_fail = std::move(on_fail)](net::NetError err) {
+    --active_;
+    if (on_fail) on_fail(err);
+  };
+  net_.start_flow(std::move(fs));
+  return true;
+}
+
+// --- PeerFetcher ------------------------------------------------------------------
+
+PeerFetcher::PeerFetcher(sim::Simulation& sim, net::Network& net,
+                         NodeId my_node, PeerRegistry& registry,
+                         net::ConnectionEstablisher* establisher,
+                         PeerFetchConfig cfg)
+    : sim_(sim),
+      net_(net),
+      node_(my_node),
+      registry_(registry),
+      establisher_(establisher),
+      cfg_(cfg) {}
+
+void PeerFetcher::fetch(net::Endpoint ep, const std::string& name, Bytes size,
+                        std::function<void(const mr::FilePayload&)> on_done,
+                        std::function<void(std::string)> on_fail) {
+  (void)size;
+  attempt(ep, name, cfg_.max_attempts, std::move(on_done), std::move(on_fail));
+}
+
+void PeerFetcher::attempt(net::Endpoint ep, std::string name, int tries_left,
+                          std::function<void(const mr::FilePayload&)> on_done,
+                          std::function<void(std::string)> on_fail) {
+  if (tries_left <= 0) {
+    ++stats_.fetches_failed;
+    if (on_fail) on_fail("peer fetch attempts exhausted for " + name);
+    return;
+  }
+  ++stats_.attempts;
+
+  auto retry = [this, ep, name, tries_left, on_done,
+                on_fail](const std::string& why) {
+    log_.debug("peer fetch of ", name, " failed (", why, "); ",
+               tries_left - 1, " attempts left");
+    sim_.after(cfg_.retry_delay, [this, ep, name, tries_left, on_done,
+                                  on_fail] {
+      attempt(ep, name, tries_left - 1, on_done, on_fail);
+    });
+  };
+
+  auto transfer = [this, ep, name, on_done,
+                   retry](std::optional<NodeId> relay) {
+    MapOutputServer* server = registry_.find(ep);
+    if (server == nullptr) {
+      retry("no listener at " + ep.str());
+      return;
+    }
+    if (relay) ++stats_.relayed;
+    const bool accepted = server->start_serving(
+        node_, name, relay,
+        [this, on_done](const mr::FilePayload& p) {
+          ++stats_.fetches_ok;
+          stats_.bytes_fetched += p.size;
+          if (on_done) on_done(p);
+        },
+        [retry](net::NetError err) { retry(net::to_string(err)); });
+    if (!accepted) retry("peer refused (busy or file withdrawn)");
+  };
+
+  if (establisher_ == nullptr) {
+    // Open-ports deployment: direct connection after one handshake RTT.
+    if (!net_.online(ep.node)) {
+      retry("peer offline");
+      return;
+    }
+    sim_.after(net_.rtt(node_, ep.node),
+               [transfer] { transfer(std::nullopt); });
+    return;
+  }
+
+  establisher_->establish(node_, ep.node,
+                          [transfer, retry](net::ConnectResult r) {
+                            if (!r.ok()) {
+                              retry("connection establishment failed");
+                              return;
+                            }
+                            transfer(r.relay);
+                          });
+}
+
+}  // namespace vcmr::client

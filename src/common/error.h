@@ -1,0 +1,22 @@
+#pragma once
+// Error handling: VCMR uses exceptions for programmer errors and
+// impossible states, and status enums for expected runtime outcomes
+// (transfer failures, validation mismatches, ...).
+
+#include <stdexcept>
+#include <string>
+
+namespace vcmr {
+
+/// Thrown on violated preconditions and corrupted internal state.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition check that survives NDEBUG; use for API misuse.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace vcmr

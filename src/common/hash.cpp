@@ -1,0 +1,66 @@
+#include "common/hash.h"
+
+#include <array>
+#include <cstdio>
+
+namespace vcmr::common {
+
+std::string Digest128::hex() const {
+  std::array<char, 33> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf.data(), 32);
+}
+
+namespace {
+// One splitmix-style avalanche round over the 128-bit state.
+inline void mix(std::uint64_t& hi, std::uint64_t& lo) {
+  lo ^= lo >> 33;
+  lo *= 0xff51afd7ed558ccdULL;
+  hi ^= lo;
+  hi *= 0xc4ceb9fe1a85ec53ULL;
+  lo ^= hi >> 29;
+}
+}  // namespace
+
+Hasher& Hasher::update(std::string_view bytes) {
+  for (const char c : bytes) {
+    lo_ ^= static_cast<std::uint8_t>(c);
+    lo_ *= 0x100000001b3ULL;
+    hi_ ^= lo_ >> 7;
+    hi_ *= 0x100000001b3ULL;
+  }
+  len_ += bytes.size();
+  return *this;
+}
+
+Hasher& Hasher::update_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    lo_ ^= (v >> (i * 8)) & 0xff;
+    lo_ *= 0x100000001b3ULL;
+    hi_ ^= lo_ >> 7;
+    hi_ *= 0x100000001b3ULL;
+  }
+  len_ += 8;
+  return *this;
+}
+
+Digest128 Hasher::digest() const {
+  std::uint64_t hi = hi_;
+  std::uint64_t lo = lo_ ^ len_;
+  mix(hi, lo);
+  mix(hi, lo);
+  return Digest128{hi, lo};
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace vcmr::common

@@ -1,0 +1,48 @@
+#pragma once
+// Content digests.
+//
+// BOINC validates replicated results by comparing output files; VCMR
+// compares 128-bit digests instead (the paper itself proposes reporting
+// hashes of map outputs rather than the files, §III.B). Digest128 is a
+// seedless, incremental FNV-style mix widened to 128 bits — not
+// cryptographic, but collision-safe for validation at simulation scale and
+// fully deterministic across platforms.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vcmr::common {
+
+/// 128-bit digest value; comparable and printable.
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr auto operator<=>(const Digest128&, const Digest128&) = default;
+
+  /// 32 hex chars.
+  std::string hex() const;
+};
+
+/// Incremental digest builder.
+class Hasher {
+ public:
+  Hasher& update(std::string_view bytes);
+  Hasher& update_u64(std::uint64_t v);
+  Digest128 digest() const;
+
+  static Digest128 of(std::string_view bytes) {
+    return Hasher{}.update(bytes).digest();
+  }
+
+ private:
+  std::uint64_t hi_ = 0x6c62272e07bb0142ULL;  // FNV-1a 128 offset basis split
+  std::uint64_t lo_ = 0x62b821756295c58dULL;
+  std::uint64_t len_ = 0;
+};
+
+/// 64-bit FNV-1a, used for key partitioning (hash(word) % R, paper §III.C).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace vcmr::common

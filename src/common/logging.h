@@ -1,0 +1,90 @@
+#pragma once
+// Levelled logging with pluggable sinks.
+//
+// Components log through a Logger that stamps messages with the simulated
+// clock (when attached) rather than wall time, so traces read in simulation
+// order. The default sink writes to stderr; tests install a capture sink.
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/types.h"
+
+namespace vcmr::common {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level);
+
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  SimTime sim_time;          ///< simulation clock if a provider is attached
+  bool has_sim_time = false;
+  std::string component;
+  std::string message;
+};
+
+/// Receives formatted records; implementations must be cheap.
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Process-wide logging configuration.
+class LogConfig {
+ public:
+  static LogConfig& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void set_sink(LogSink sink);
+  void reset_sink();
+  void emit(const LogRecord& rec) const;
+
+  /// Simulation clock provider; set by sim::Simulation when constructed.
+  void set_time_provider(std::function<SimTime()> provider);
+  void clear_time_provider();
+
+  bool time(SimTime* out) const;
+
+ private:
+  LogConfig();
+  LogLevel level_ = LogLevel::kInfo;
+  LogSink sink_;
+  std::function<SimTime()> time_provider_;
+};
+
+/// Named logger handle; cheap to copy.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  bool enabled(LogLevel level) const {
+    return level >= LogConfig::instance().level();
+  }
+  void log(LogLevel level, const std::string& msg) const;
+
+  template <class... Args>
+  void debug(Args&&... args) const { fmt(LogLevel::kDebug, std::forward<Args>(args)...); }
+  template <class... Args>
+  void info(Args&&... args) const { fmt(LogLevel::kInfo, std::forward<Args>(args)...); }
+  template <class... Args>
+  void warn(Args&&... args) const { fmt(LogLevel::kWarn, std::forward<Args>(args)...); }
+  template <class... Args>
+  void error(Args&&... args) const { fmt(LogLevel::kError, std::forward<Args>(args)...); }
+
+  const std::string& component() const { return component_; }
+
+ private:
+  template <class... Args>
+  void fmt(LogLevel level, Args&&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log(level, os.str());
+  }
+
+  std::string component_;
+};
+
+}  // namespace vcmr::common

@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic random-number generation.
+//
+// Every stochastic component in VCMR draws from a named RngStream derived
+// from a single root seed, so a scenario is bit-reproducible regardless of
+// the order in which components are constructed or how many draws each
+// makes. The generator is xoshiro256** seeded via splitmix64, which is fast,
+// has a 2^256-1 period, and passes BigCrush.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace vcmr::common {
+
+/// splitmix64 step; used for seeding and for hashing stream names.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+  /// Standard normal via Box-Muller (no cached spare: keeps replay simple).
+  double normal(double mean, double stddev);
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed sessions).
+  double pareto(double xm, double alpha);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Zipf-distributed rank in [1, n] with exponent s (corpus generation).
+  /// Uses rejection-inversion (Hörmann-Derflinger), O(1) per draw.
+  std::int64_t zipf(std::int64_t n, double s);
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Derives independent child generators from (root seed, stream name, index).
+/// Same inputs always give the same stream, so adding a new consumer never
+/// perturbs existing ones.
+class RngStreamFactory {
+ public:
+  explicit RngStreamFactory(std::uint64_t root_seed) : root_(root_seed) {}
+
+  Rng stream(std::string_view name, std::uint64_t index = 0) const;
+  std::uint64_t root_seed() const { return root_; }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace vcmr::common

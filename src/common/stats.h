@@ -1,0 +1,72 @@
+#pragma once
+// Online summary statistics and fixed-bucket histograms, used by metrics
+// collection and the benchmark harnesses.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcmr::common {
+
+/// Welford online mean/variance plus min/max/sum.
+class Summary {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1); 0 when n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// "n=.. mean=.. sd=.. min=.. max=.."
+  std::string str() const;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores samples for exact order statistics; fine at simulation scale.
+class Percentiles {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return xs_.size(); }
+  /// q in [0,1]; linear interpolation between closest ranks.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp to
+/// the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::int64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const { return counts_.size(); }
+  double bucket_lo(std::size_t i) const;
+  std::int64_t total() const { return total_; }
+
+  /// ASCII rendering for report binaries.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace vcmr::common

@@ -1,0 +1,12 @@
+#include "common/types.h"
+
+#include "common/strings.h"
+
+namespace vcmr {
+
+std::string SimTime::str() const {
+  if (is_infinite()) return "inf";
+  return common::strprintf("%.6fs", as_seconds());
+}
+
+}  // namespace vcmr

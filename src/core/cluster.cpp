@@ -1,0 +1,220 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace vcmr::core {
+
+namespace {
+common::Logger log_("cluster");
+}
+
+Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
+  require(scenario_.n_nodes >= 1, "Scenario: need at least one node");
+  require(scenario_.n_maps >= 1 && scenario_.n_reducers >= 1,
+          "Scenario: need at least one map and one reducer");
+
+  sim_ = std::make_unique<sim::Simulation>(scenario_.seed);
+  net_ = std::make_unique<net::Network>(*sim_);
+  http_ = std::make_unique<net::HttpService>(*net_);
+
+  // Server node and project.
+  net::NodeConfig server_cfg;
+  server_cfg.up_bps = scenario_.server_up_bps;
+  server_cfg.down_bps = scenario_.server_down_bps;
+  server_cfg.latency = scenario_.server_latency;
+  server_cfg.name = "server";
+  server_node_ = net_->add_node(server_cfg);
+  project_ =
+      std::make_unique<server::Project>(*sim_, *http_, server_node_,
+                                        scenario_.project);
+
+  // Volunteer hosts.
+  std::vector<client::HostSpec> specs = scenario_.hosts;
+  if (specs.empty()) {
+    if (scenario_.host_preset == "internet") {
+      common::Rng rng = sim_->rng_stream("scenario.hosts");
+      specs = volunteer::internet_mix(scenario_.n_nodes, rng);
+    } else {
+      require(scenario_.host_preset.empty() ||
+                  scenario_.host_preset == "emulab",
+              "Scenario: unknown host preset");
+      specs = volunteer::emulab_mix(scenario_.n_nodes);
+    }
+  }
+  require(static_cast<int>(specs.size()) >= scenario_.n_nodes,
+          "Scenario: fewer host specs than nodes");
+
+  // Derive per-host arrays from mixes when not given explicitly.
+  if (scenario_.use_traversal && scenario_.nat_profiles.empty() &&
+      scenario_.nat_mix) {
+    common::Rng rng = sim_->rng_stream("scenario.nat");
+    scenario_.nat_profiles =
+        volunteer::nat_profiles(scenario_.n_nodes, *scenario_.nat_mix, rng);
+  }
+  if (scenario_.error_probabilities.empty() && scenario_.byzantine) {
+    common::Rng rng = sim_->rng_stream("scenario.byzantine");
+    scenario_.error_probabilities = volunteer::error_probabilities(
+        scenario_.n_nodes, *scenario_.byzantine, rng);
+  }
+
+  // NAT traversal machinery (optional).
+  if (scenario_.use_traversal) {
+    establisher_ = std::make_unique<net::ConnectionEstablisher>(
+        *net_, server_node_, scenario_.traversal);
+    if (scenario_.use_overlay) {
+      overlay_ = std::make_unique<net::SupernodeOverlay>(*net_);
+      establisher_->set_relay_provider(
+          [this](NodeId a, NodeId b) { return overlay_->pick_relay(a, b); });
+    }
+  }
+
+  if (scenario_.churn) {
+    churn_ = std::make_unique<volunteer::AvailabilityModel>(*sim_,
+                                                            *scenario_.churn);
+  }
+
+  for (int i = 0; i < scenario_.n_nodes; ++i) {
+    const client::HostSpec& spec = specs[static_cast<std::size_t>(i)];
+    net::NodeConfig ncfg;
+    ncfg.up_bps = spec.up_bps;
+    ncfg.down_bps = spec.down_bps;
+    ncfg.latency = spec.latency;
+    ncfg.name = "host" + std::to_string(i + 1);
+    const NodeId node = net_->add_node(ncfg);
+
+    client::ClientConfig ccfg = scenario_.client;
+    ccfg.mr_capable = scenario_.boinc_mr && i >= scenario_.n_plain_clients;
+    ccfg.mirror_map_outputs = scenario_.project.mirror_map_outputs;
+    ccfg.cache_inputs = scenario_.project.peer_input_distribution;
+    ccfg.report_results_immediately =
+        scenario_.client.report_results_immediately;
+    if (i < static_cast<int>(scenario_.error_probabilities.size())) {
+      ccfg.error_probability =
+          scenario_.error_probabilities[static_cast<std::size_t>(i)];
+    }
+
+    db::HostRecord hproto;
+    hproto.name = ncfg.name;
+    hproto.node = node;
+    hproto.flops = spec.flops;
+    hproto.cores = spec.cores;
+    hproto.mr_capable = ccfg.mr_capable;
+    hproto.mr_endpoint = net::Endpoint{node, ccfg.mr_port};
+    const db::HostRecord& hrec = project_->database().create_host(hproto);
+
+    if (establisher_ &&
+        i < static_cast<int>(scenario_.nat_profiles.size())) {
+      const net::NatProfile& prof =
+          scenario_.nat_profiles[static_cast<std::size_t>(i)];
+      establisher_->set_profile(node, prof);
+      if (overlay_) overlay_->join(node, prof);
+    }
+
+    clients_.push_back(std::make_unique<client::Client>(
+        *sim_, *net_, *http_, project_->data_server(),
+        project_->scheduler_endpoint(), hrec, spec, registry_,
+        establisher_.get(), ccfg,
+        scenario_.record_trace ? &trace_ : nullptr));
+  }
+
+  if (scenario_.flow_failure_rate > 0) {
+    net_->set_flow_failure_rate(scenario_.flow_failure_rate);
+    // Server paths model the project's managed infrastructure; only the
+    // volunteer-to-volunteer edges are flaky.
+    net_->set_failure_exempt_node(server_node_);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+RunOutcome Cluster::run_job() {
+  server::MrJobSpec spec;
+  spec.name = "job" + std::to_string(project_->database().workunit_count());
+  spec.app = scenario_.app;
+  spec.n_maps = scenario_.n_maps;
+  spec.n_reducers = scenario_.n_reducers;
+  if (scenario_.input_text) {
+    spec.input_text = scenario_.input_text;
+  } else {
+    spec.input_size = scenario_.input_size;
+  }
+  return run_job(spec);
+}
+
+RunOutcome Cluster::run_job(const server::MrJobSpec& spec) {
+  return run_jobs({spec}).front();
+}
+
+std::vector<RunOutcome> Cluster::run_jobs(
+    const std::vector<server::MrJobSpec>& specs) {
+  require(!specs.empty(), "run_jobs: no jobs given");
+  std::vector<MrJobId> jobs;
+  jobs.reserve(specs.size());
+  for (const auto& spec : specs) jobs.push_back(project_->submit_job(spec));
+
+  if (!started_) {
+    started_ = true;
+    project_->start();
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      clients_[i]->start();
+      if (churn_) churn_->attach(*clients_[i], i);
+    }
+  }
+
+  auto& jt = project_->jobtracker();
+  auto all_settled = [&] {
+    for (const MrJobId job : jobs) {
+      if (!jt.job_done(job) && !jt.job_failed(job)) return false;
+    }
+    return true;
+  };
+  const bool finished =
+      sim_->run_until(all_settled, sim_->now() + scenario_.time_limit);
+
+  std::vector<RunOutcome> outcomes;
+  for (const MrJobId job : jobs) {
+    RunOutcome out;
+    out.job = job;
+    out.hit_time_limit = !finished;
+    out.metrics = compute_job_metrics(project_->database(), job);
+
+    const net::NodeTraffic& st = net_->traffic(server_node_);
+    out.server_bytes_sent = st.bytes_sent;
+    out.server_bytes_received = st.bytes_received;
+    out.scheduler_rpcs = project_->scheduler().stats().rpcs;
+    for (const auto& c : clients_) {
+      out.backoffs += c->stats().backoffs;
+      out.server_fallbacks += c->stats().server_fallbacks;
+      out.peer_fetch_attempts += c->peer_stats().attempts;
+      out.interclient_bytes += c->peer_stats().bytes_fetched;
+      out.local_read_bytes += c->stats().bytes_read_locally;
+    }
+    if (establisher_) out.traversal = establisher_->stats();
+
+    log_.info("job ", job.value(), out.metrics.completed ? " completed" :
+              (out.metrics.failed ? " FAILED" : " timed out"),
+              " at t=", sim_->now().str());
+    outcomes.push_back(std::move(out));
+  }
+  return outcomes;
+}
+
+std::vector<mr::KeyValue> Cluster::collect_output(MrJobId job) const {
+  std::vector<mr::KeyValue> out;
+  for (const std::string& name :
+       project_->jobtracker().output_file_names(job)) {
+    const mr::FilePayload* p = project_->data_server().payload(name);
+    require(p != nullptr, "collect_output: reduce output not on data server");
+    if (!p->materialised()) continue;
+    auto kvs = mr::parse_kvs(*p->content);
+    out.insert(out.end(), std::make_move_iterator(kvs.begin()),
+               std::make_move_iterator(kvs.end()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vcmr::core

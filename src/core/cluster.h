@@ -1,0 +1,146 @@
+#pragma once
+// Cluster: one fully wired BOINC-MR deployment in a box.
+//
+// Builds the network (server + volunteer nodes), the project server with
+// its daemons, and one client per volunteer host — plain BOINC 6.13.0
+// behaviour or the BOINC-MR build, per the scenario — plus the optional
+// extras: NAT profiles with tiered traversal, a supernode overlay, churn,
+// byzantine hosts, and transfer-failure injection. This is the façade the
+// examples and every benchmark drive.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "client/client.h"
+#include "core/metrics.h"
+#include "mr/keyvalue.h"
+#include "net/overlay.h"
+#include "net/traversal.h"
+#include "server/project.h"
+#include "sim/trace.h"
+#include "volunteer/availability.h"
+#include "volunteer/byzantine.h"
+#include "volunteer/population.h"
+
+namespace vcmr::core {
+
+struct Scenario {
+  std::uint64_t seed = 1;
+
+  // --- workload (Table I parameters) ------------------------------------
+  int n_nodes = 20;
+  int n_maps = 20;
+  int n_reducers = 5;
+  Bytes input_size = 1000LL * 1000 * 1000;  ///< the paper's fixed 1 GB
+  std::optional<std::string> input_text;    ///< materialised mode
+  std::string app = "word_count";
+
+  /// false = plain BOINC clients (Table I upper rows); true = BOINC-MR.
+  bool boinc_mr = false;
+  /// Mixed fleets (§III.B retro-compatibility): when boinc_mr is true, the
+  /// first n_plain_clients hosts still run the ordinary 6.13.0 client —
+  /// they execute map work and, if outputs are mirrored, reduce work, but
+  /// never serve or fetch inter-client data.
+  int n_plain_clients = 0;
+
+  // --- component configuration --------------------------------------------
+  server::ProjectConfig project;
+  client::ClientConfig client;  ///< base; mr flags derived from the above
+  std::vector<client::HostSpec> hosts;  ///< empty → derived from host_preset
+  /// Used when `hosts` is empty: "emulab" (default) or "internet"
+  /// (heterogeneous broadband volunteers drawn from the scenario seed).
+  std::string host_preset = "emulab";
+
+  // --- server access link ----------------------------------------------------
+  double server_up_bps = 100e6 / 8;
+  double server_down_bps = 100e6 / 8;
+  SimTime server_latency = SimTime::millis(1);
+
+  // --- optional machinery -------------------------------------------------------
+  bool use_traversal = false;           ///< NAT tier ladder (§III.D)
+  net::TraversalPolicy traversal;
+  std::vector<net::NatProfile> nat_profiles;  ///< per host; empty → open
+  /// Used when `nat_profiles` is empty and traversal is on: draw profiles
+  /// from this mix with the scenario seed.
+  std::optional<volunteer::NatMix> nat_mix;
+  bool use_overlay = false;             ///< supernode relays (§III.D)
+  std::optional<volunteer::ChurnConfig> churn;
+  std::vector<double> error_probabilities;    ///< per-host byzantine rates
+  /// Used when `error_probabilities` is empty: draw per-host rates from
+  /// this mix with the scenario seed.
+  std::optional<volunteer::ByzantineMix> byzantine;
+  double flow_failure_rate = 0.0;       ///< injected inter-client failures
+  bool record_trace = false;            ///< per-host timeline (Fig. 4)
+
+  SimTime time_limit = SimTime::hours(12);
+};
+
+struct RunOutcome {
+  MrJobId job;
+  JobMetrics metrics;
+  bool hit_time_limit = false;
+
+  Bytes server_bytes_sent = 0;      ///< data-server egress
+  Bytes server_bytes_received = 0;  ///< ingress (uploads + RPCs)
+  Bytes interclient_bytes = 0;      ///< mapper→reducer volume
+  Bytes local_read_bytes = 0;       ///< reduce inputs read from local disk
+  std::int64_t scheduler_rpcs = 0;
+  std::int64_t backoffs = 0;
+  std::int64_t server_fallbacks = 0;
+  std::int64_t peer_fetch_attempts = 0;
+  net::TraversalStats traversal;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(Scenario scenario);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Submits the scenario's job and runs to completion, failure, or the
+  /// time limit.
+  RunOutcome run_job();
+  /// Same, with an explicit job spec (multiple jobs per cluster are fine).
+  RunOutcome run_job(const server::MrJobSpec& spec);
+  /// Submits all jobs at once and runs until each finishes or fails — the
+  /// §IV.C mitigation of "having work constantly available at the
+  /// scheduler". Per-job metrics are per job; traffic/RPC counters in each
+  /// outcome cover the whole run.
+  std::vector<RunOutcome> run_jobs(const std::vector<server::MrJobSpec>& specs);
+
+  // --- access -------------------------------------------------------------
+  sim::Simulation& simulation() { return *sim_; }
+  net::Network& network() { return *net_; }
+  server::Project& project() { return *project_; }
+  client::Client& client(std::size_t i) { return *clients_.at(i); }
+  std::size_t n_clients() const { return clients_.size(); }
+  sim::TraceRecorder& trace() { return trace_; }
+  NodeId server_node() const { return server_node_; }
+  const Scenario& scenario() const { return scenario_; }
+  net::ConnectionEstablisher* establisher() { return establisher_.get(); }
+  net::SupernodeOverlay* overlay() { return overlay_.get(); }
+
+  /// Merged, key-sorted final output of a completed materialised-mode job
+  /// (parses the canonical reduce outputs staged on the data server).
+  std::vector<mr::KeyValue> collect_output(MrJobId job) const;
+
+ private:
+  Scenario scenario_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<net::HttpService> http_;
+  NodeId server_node_;
+  std::unique_ptr<server::Project> project_;
+  std::unique_ptr<net::ConnectionEstablisher> establisher_;
+  std::unique_ptr<net::SupernodeOverlay> overlay_;
+  client::PeerRegistry registry_;
+  std::vector<std::unique_ptr<client::Client>> clients_;
+  std::unique_ptr<volunteer::AvailabilityModel> churn_;
+  sim::TraceRecorder trace_;
+  bool started_ = false;
+};
+
+}  // namespace vcmr::core

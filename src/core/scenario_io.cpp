@@ -1,0 +1,201 @@
+#include "core/scenario_io.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/xml.h"
+
+namespace vcmr::core {
+
+using common::XmlNode;
+
+Scenario scenario_from_xml(const std::string& xml) {
+  const auto root = common::xml_parse(xml);
+  require(root->name() == "scenario",
+          "scenario xml: root element must be <scenario>");
+  Scenario s;
+
+  s.seed = static_cast<std::uint64_t>(
+      root->child_i64("seed", static_cast<std::int64_t>(s.seed)));
+  s.n_nodes = static_cast<int>(root->child_i64("nodes", s.n_nodes));
+  s.n_maps = static_cast<int>(root->child_i64("maps", s.n_maps));
+  s.n_reducers = static_cast<int>(root->child_i64("reducers", s.n_reducers));
+  s.input_size =
+      root->child_i64("input_mb", s.input_size / 1000000) * 1000000;
+  s.app = root->child_text("app", s.app);
+  s.boinc_mr = root->child_i64("boinc_mr", s.boinc_mr ? 1 : 0) != 0;
+  s.record_trace = root->child_i64("record_trace", 0) != 0;
+  s.time_limit = SimTime::seconds(
+      root->child_double("time_limit_s", s.time_limit.as_seconds()));
+  s.flow_failure_rate =
+      root->child_double("flow_failure_rate", s.flow_failure_rate);
+
+  if (const XmlNode* p = root->child("project")) {
+    auto& cfg = s.project;
+    cfg.target_nresults =
+        static_cast<int>(p->child_i64("target_nresults", cfg.target_nresults));
+    cfg.min_quorum = static_cast<int>(p->child_i64("min_quorum", cfg.min_quorum));
+    cfg.mirror_map_outputs =
+        p->child_i64("mirror_map_outputs", cfg.mirror_map_outputs ? 1 : 0) != 0;
+    cfg.report_map_results_immediately =
+        p->child_i64("report_map_results_immediately",
+                     cfg.report_map_results_immediately ? 1 : 0) != 0;
+    cfg.pipelined_reduce =
+        p->child_i64("pipelined_reduce", cfg.pipelined_reduce ? 1 : 0) != 0;
+    cfg.delay_bound = SimTime::seconds(
+        p->child_double("delay_bound_s", cfg.delay_bound.as_seconds()));
+    cfg.max_wus_in_progress = static_cast<int>(
+        p->child_i64("max_wus_in_progress", cfg.max_wus_in_progress));
+    require(cfg.min_quorum >= 1 && cfg.min_quorum <= cfg.target_nresults,
+            "scenario xml: need 1 <= min_quorum <= target_nresults");
+  }
+
+  if (const XmlNode* c = root->child("client")) {
+    auto& cfg = s.client;
+    cfg.work_buf_min_seconds =
+        c->child_double("work_buf_min_s", cfg.work_buf_min_seconds);
+    cfg.backoff_min = SimTime::seconds(
+        c->child_double("backoff_min_s", cfg.backoff_min.as_seconds()));
+    cfg.backoff_max = SimTime::seconds(
+        c->child_double("backoff_max_s", cfg.backoff_max.as_seconds()));
+    cfg.max_file_xfers =
+        static_cast<int>(c->child_i64("max_file_xfers", cfg.max_file_xfers));
+    cfg.report_results_immediately =
+        c->child_i64("report_results_immediately",
+                     cfg.report_results_immediately ? 1 : 0) != 0;
+    cfg.peer_fetch.max_attempts = static_cast<int>(
+        c->child_i64("peer_fetch_attempts", cfg.peer_fetch.max_attempts));
+  }
+
+  if (const XmlNode* l = root->child("server_link")) {
+    s.server_up_bps = l->child_double("up_mbps", 100) * 1e6 / 8;
+    s.server_down_bps = l->child_double("down_mbps", 100) * 1e6 / 8;
+    s.server_latency = SimTime::millis(l->child_i64("latency_ms", 1));
+  }
+
+  if (const XmlNode* h = root->child("hosts")) {
+    s.host_preset = h->child_text("preset", s.host_preset);
+    require(s.host_preset == "emulab" || s.host_preset == "internet",
+            "scenario xml: <hosts><preset> must be emulab or internet");
+  }
+
+  if (const XmlNode* c = root->child("churn")) {
+    volunteer::ChurnConfig churn;
+    churn.mean_on = SimTime::seconds(c->child_double("mean_on_s", 28800));
+    churn.mean_off = SimTime::seconds(c->child_double("mean_off_s", 3600));
+    require(churn.mean_on.as_seconds() > 0 && churn.mean_off.as_seconds() > 0,
+            "scenario xml: churn means must be positive");
+    s.churn = churn;
+  }
+
+  if (const XmlNode* n = root->child("nat")) {
+    volunteer::NatMix mix;
+    mix.open = n->child_double("open", mix.open);
+    mix.full_cone = n->child_double("full_cone", mix.full_cone);
+    mix.restricted = n->child_double("restricted", mix.restricted);
+    mix.port_restricted = n->child_double("port_restricted", mix.port_restricted);
+    mix.symmetric = n->child_double("symmetric", mix.symmetric);
+    s.nat_mix = mix;
+    s.use_traversal = true;
+  }
+
+  if (root->has_child("overlay")) s.use_overlay = true;
+
+  if (const XmlNode* b = root->child("byzantine")) {
+    volunteer::ByzantineMix mix;
+    mix.faulty_fraction = b->child_double("faulty_fraction", 0.1);
+    mix.error_probability = b->child_double("error_probability", 1.0);
+    s.byzantine = mix;
+  }
+
+  require(s.n_nodes >= 1 && s.n_maps >= 1 && s.n_reducers >= 1,
+          "scenario xml: nodes/maps/reducers must be >= 1");
+  return s;
+}
+
+std::string scenario_to_xml(const Scenario& s) {
+  XmlNode root("scenario");
+  auto put = [&root](const char* key, std::int64_t v) {
+    root.add_child_text(key, std::to_string(v));
+  };
+  put("seed", static_cast<std::int64_t>(s.seed));
+  put("nodes", s.n_nodes);
+  put("maps", s.n_maps);
+  put("reducers", s.n_reducers);
+  put("input_mb", s.input_size / 1000000);
+  root.add_child_text("app", s.app);
+  put("boinc_mr", s.boinc_mr ? 1 : 0);
+  put("record_trace", s.record_trace ? 1 : 0);
+  root.add_child_text("time_limit_s",
+                      common::strprintf("%.0f", s.time_limit.as_seconds()));
+  if (s.flow_failure_rate > 0) {
+    root.add_child_text("flow_failure_rate",
+                        common::strprintf("%.6f", s.flow_failure_rate));
+  }
+
+  XmlNode& p = root.add_child("project");
+  p.add_child_text("target_nresults", std::to_string(s.project.target_nresults));
+  p.add_child_text("min_quorum", std::to_string(s.project.min_quorum));
+  p.add_child_text("mirror_map_outputs",
+                   s.project.mirror_map_outputs ? "1" : "0");
+  p.add_child_text("report_map_results_immediately",
+                   s.project.report_map_results_immediately ? "1" : "0");
+  p.add_child_text("pipelined_reduce", s.project.pipelined_reduce ? "1" : "0");
+  p.add_child_text("delay_bound_s",
+                   common::strprintf("%.0f", s.project.delay_bound.as_seconds()));
+  p.add_child_text("max_wus_in_progress",
+                   std::to_string(s.project.max_wus_in_progress));
+
+  XmlNode& c = root.add_child("client");
+  c.add_child_text("work_buf_min_s",
+                   common::strprintf("%.0f", s.client.work_buf_min_seconds));
+  c.add_child_text("backoff_min_s",
+                   common::strprintf("%.0f", s.client.backoff_min.as_seconds()));
+  c.add_child_text("backoff_max_s",
+                   common::strprintf("%.0f", s.client.backoff_max.as_seconds()));
+  c.add_child_text("max_file_xfers", std::to_string(s.client.max_file_xfers));
+  c.add_child_text("report_results_immediately",
+                   s.client.report_results_immediately ? "1" : "0");
+  c.add_child_text("peer_fetch_attempts",
+                   std::to_string(s.client.peer_fetch.max_attempts));
+
+  XmlNode& l = root.add_child("server_link");
+  l.add_child_text("up_mbps",
+                   common::strprintf("%.3f", s.server_up_bps * 8 / 1e6));
+  l.add_child_text("down_mbps",
+                   common::strprintf("%.3f", s.server_down_bps * 8 / 1e6));
+  l.add_child_text("latency_ms",
+                   std::to_string(s.server_latency.as_micros() / 1000));
+
+  XmlNode& h = root.add_child("hosts");
+  h.add_child_text("preset", s.host_preset.empty() ? "emulab" : s.host_preset);
+
+  if (s.churn) {
+    XmlNode& ch = root.add_child("churn");
+    ch.add_child_text("mean_on_s",
+                      common::strprintf("%.0f", s.churn->mean_on.as_seconds()));
+    ch.add_child_text("mean_off_s",
+                      common::strprintf("%.0f", s.churn->mean_off.as_seconds()));
+  }
+  if (s.nat_mix) {
+    XmlNode& n = root.add_child("nat");
+    n.add_child_text("open", common::strprintf("%.4f", s.nat_mix->open));
+    n.add_child_text("full_cone", common::strprintf("%.4f", s.nat_mix->full_cone));
+    n.add_child_text("restricted",
+                     common::strprintf("%.4f", s.nat_mix->restricted));
+    n.add_child_text("port_restricted",
+                     common::strprintf("%.4f", s.nat_mix->port_restricted));
+    n.add_child_text("symmetric",
+                     common::strprintf("%.4f", s.nat_mix->symmetric));
+  }
+  if (s.use_overlay) root.add_child("overlay");
+  if (s.byzantine) {
+    XmlNode& b = root.add_child("byzantine");
+    b.add_child_text("faulty_fraction",
+                     common::strprintf("%.4f", s.byzantine->faulty_fraction));
+    b.add_child_text("error_probability",
+                     common::strprintf("%.4f", s.byzantine->error_probability));
+  }
+  return root.to_string();
+}
+
+}  // namespace vcmr::core

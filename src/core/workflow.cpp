@@ -1,0 +1,43 @@
+#include "core/workflow.h"
+
+#include "common/error.h"
+#include "mr/keyvalue.h"
+
+namespace vcmr::core {
+
+ChainResult run_chain(Cluster& cluster, const std::string& job_name,
+                      const std::string& initial_input,
+                      const std::vector<ChainStage>& stages) {
+  require(!stages.empty(), "run_chain: no stages");
+  ChainResult result;
+
+  std::string input = initial_input;
+  const double t0 = cluster.simulation().now().as_seconds();
+  for (std::size_t k = 0; k < stages.size(); ++k) {
+    const ChainStage& stage = stages[k];
+    server::MrJobSpec spec;
+    spec.name = job_name + "_stage" + std::to_string(k);
+    spec.app = stage.app;
+    spec.n_maps = stage.n_maps;
+    spec.n_reducers = stage.n_reducers;
+    spec.input_text = input;
+    const RunOutcome out = cluster.run_job(spec);
+    result.stages.push_back(out);
+    if (!out.metrics.completed) return result;
+
+    // Stage k's merged output is stage k+1's corpus; the "word value" line
+    // format is exactly what chain-aware apps (count_range) parse.
+    const std::vector<mr::KeyValue> output = cluster.collect_output(out.job);
+    if (k + 1 == stages.size()) {
+      result.final_output = output;
+      result.completed = true;
+    } else {
+      input = mr::serialize_kvs(output);
+      require(!input.empty(), "run_chain: stage produced empty output");
+    }
+  }
+  result.total_seconds = cluster.simulation().now().as_seconds() - t0;
+  return result;
+}
+
+}  // namespace vcmr::core

@@ -1,0 +1,38 @@
+#pragma once
+// MapReduce workflows: sequences of jobs where each stage consumes the
+// previous stage's output (§II: "many applications can be broken down into
+// sequences of MapReduce jobs"; §VI calls MapReduce "a gateway to allow
+// other paradigms or more complex applications").
+//
+// Stages run in materialised mode: the canonical reduce outputs of stage k
+// (staged on the data server by the uploading reducers) become the input
+// corpus of stage k+1.
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace vcmr::core {
+
+struct ChainStage {
+  std::string app;
+  int n_maps = 4;
+  int n_reducers = 2;
+};
+
+struct ChainResult {
+  std::vector<RunOutcome> stages;
+  /// Merged, key-sorted output of the final stage.
+  std::vector<mr::KeyValue> final_output;
+  bool completed = false;
+  double total_seconds = 0;  ///< first stage start → last stage finish
+};
+
+/// Runs `stages` in order on `cluster`; stage 0 reads `initial_input`.
+/// Stops at the first stage that fails or times out.
+ChainResult run_chain(Cluster& cluster, const std::string& job_name,
+                      const std::string& initial_input,
+                      const std::vector<ChainStage>& stages);
+
+}  // namespace vcmr::core

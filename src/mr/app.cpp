@@ -1,0 +1,45 @@
+#include "mr/app.h"
+
+#include "common/error.h"
+#include "mr/apps.h"
+
+namespace vcmr::mr {
+
+AppRegistry& AppRegistry::instance() {
+  static AppRegistry reg;
+  return reg;
+}
+
+void AppRegistry::register_app(std::unique_ptr<MapReduceApp> app) {
+  require(app != nullptr, "AppRegistry: null app");
+  require(find(app->name()) == nullptr, "AppRegistry: duplicate app name");
+  apps_.push_back(std::move(app));
+}
+
+const MapReduceApp* AppRegistry::find(const std::string& name) const {
+  for (const auto& app : apps_) {
+    if (app->name() == name) return app.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AppRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(apps_.size());
+  for (const auto& app : apps_) out.push_back(app->name());
+  return out;
+}
+
+void register_builtin_apps() {
+  AppRegistry& reg = AppRegistry::instance();
+  if (reg.find("word_count")) return;  // already done
+  reg.register_app(std::make_unique<WordCountApp>());
+  reg.register_app(std::make_unique<GrepApp>());
+  reg.register_app(std::make_unique<InvertedIndexApp>());
+  reg.register_app(std::make_unique<LengthHistogramApp>());
+  reg.register_app(std::make_unique<CountRangeApp>());
+  reg.register_app(std::make_unique<PageRankApp>());
+  reg.register_app(std::make_unique<GrepBloomApp>());
+}
+
+}  // namespace vcmr::mr

@@ -1,0 +1,123 @@
+#include "mr/dataset.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/error.h"
+
+namespace vcmr::mr {
+
+FilePayload FilePayload::of_content(std::string content) {
+  FilePayload p;
+  p.size = static_cast<Bytes>(content.size());
+  p.digest = common::Hasher::of(content);
+  p.content = std::move(content);
+  return p;
+}
+
+FilePayload FilePayload::of_size(Bytes size, const common::Digest128& digest) {
+  FilePayload p;
+  p.size = size;
+  p.digest = digest;
+  return p;
+}
+
+std::vector<std::string> split_text(const std::string& text, int n) {
+  require(n >= 1, "split_text: need at least one chunk");
+  std::vector<std::string> chunks;
+  chunks.reserve(static_cast<std::size_t>(n));
+  const std::size_t total = text.size();
+  std::size_t start = 0;
+  for (int i = 0; i < n; ++i) {
+    std::size_t end = total * static_cast<std::size_t>(i + 1) /
+                      static_cast<std::size_t>(n);
+    // A long word may have dragged the previous boundary past this one.
+    end = std::max(end, start);
+    // Never cut mid-word: advance to the next whitespace byte.
+    while (end < total && end > start &&
+           !std::isspace(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    if (i == n - 1) end = total;
+    std::string chunk = "#chunk " + std::to_string(i) + "\n";
+    chunk.append(text, start, end - start);
+    chunks.push_back(std::move(chunk));
+    start = end;
+  }
+  return chunks;
+}
+
+std::vector<Bytes> split_sizes(Bytes total, int n) {
+  require(n >= 1, "split_sizes: need at least one chunk");
+  require(total >= 0, "split_sizes: negative total");
+  std::vector<Bytes> out;
+  out.reserve(static_cast<std::size_t>(n));
+  Bytes start = 0;
+  for (int i = 0; i < n; ++i) {
+    const Bytes end = total * (i + 1) / n;
+    out.push_back(end - start);
+    start = end;
+  }
+  return out;
+}
+
+std::string synthetic_graph(int n_nodes, int avg_degree, common::Rng& rng) {
+  require(n_nodes >= 2, "synthetic_graph: need at least two nodes");
+  require(avg_degree >= 1, "synthetic_graph: need avg_degree >= 1");
+  std::string out;
+  for (int i = 0; i < n_nodes; ++i) {
+    out += "n" + std::to_string(i) + " 1.0|";
+    const std::int64_t degree =
+        rng.uniform_int(1, std::max<std::int64_t>(1, 2 * avg_degree - 1));
+    std::set<std::int64_t> targets;
+    while (static_cast<std::int64_t>(targets.size()) < degree) {
+      const std::int64_t t = rng.uniform_int(0, n_nodes - 1);
+      if (t != i) targets.insert(t);
+    }
+    bool first = true;
+    for (const std::int64_t t : targets) {
+      if (!first) out += ',';
+      out += "n" + std::to_string(t);
+      first = false;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ZipfCorpus::word_for_rank(std::int64_t rank) {
+  // Readable pseudo-words: base-20 consonant-vowel pairs keyed by rank,
+  // so "w" + digits never collides with natural tokenisation oddities.
+  static const char* syllables[] = {"ba", "ce", "di", "fo", "gu", "he", "ji",
+                                    "ko", "lu", "ma", "ne", "pi", "qo", "ru",
+                                    "sa", "te", "vi", "wo", "xu", "za"};
+  std::string w;
+  std::int64_t r = rank;
+  do {
+    w += syllables[r % 20];
+    r /= 20;
+  } while (r > 0);
+  return w;
+}
+
+std::string ZipfCorpus::generate(Bytes target, common::Rng& rng) const {
+  require(target >= 0, "ZipfCorpus::generate: negative target");
+  std::string out;
+  out.reserve(static_cast<std::size_t>(target) + 64);
+  int col = 0;
+  while (static_cast<Bytes>(out.size()) < target) {
+    const std::int64_t rank = rng.zipf(opts_.vocabulary, opts_.exponent);
+    out += word_for_rank(rank);
+    if (++col >= opts_.words_per_line) {
+      out += '\n';
+      col = 0;
+    } else {
+      out += ' ';
+    }
+  }
+  if (out.empty() || out.back() != '\n') out += '\n';
+  return out;
+}
+
+}  // namespace vcmr::mr

@@ -1,0 +1,68 @@
+#pragma once
+// Input datasets: payloads, splitting, and synthetic corpus generation.
+//
+// The paper fixes a 1 GB input file split into as many chunks as map work
+// units (§IV.A). FilePayload represents a file either *materialised*
+// (content present; small-scale tests and examples) or *modelled* (size
+// and digest only; cluster-scale benches). split_text cuts a real corpus
+// at word boundaries; ZipfCorpus generates deterministic text with a
+// Zipfian word distribution, the standard model for natural-language word
+// frequencies.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace vcmr::mr {
+
+struct FilePayload {
+  Bytes size = 0;
+  common::Digest128 digest;
+  std::optional<std::string> content;  ///< absent in modelled mode
+
+  bool materialised() const { return content.has_value(); }
+
+  static FilePayload of_content(std::string content);
+  static FilePayload of_size(Bytes size, const common::Digest128& digest);
+};
+
+/// Splits text into `n` near-equal chunks, never mid-word; each chunk is
+/// prefixed with a "#chunk <i>\n" header so apps can recover the chunk id
+/// (the inverted index uses it as the document id).
+std::vector<std::string> split_text(const std::string& text, int n);
+
+/// Modelled-mode analogue: sizes only, same near-equal division.
+std::vector<Bytes> split_sizes(Bytes total, int n);
+
+/// Parameters of the synthetic corpus generator.
+struct ZipfOptions {
+  std::int64_t vocabulary = 10000;  ///< distinct words
+  double exponent = 1.1;            ///< Zipf skew
+  int words_per_line = 12;
+};
+
+/// Deterministic synthetic directed graph in PageRank adjacency format:
+/// one line per node, "n<i> 1.0|n<a>,n<b>,...", out-degrees uniform in
+/// [1, 2*avg_degree-1], self-loops excluded.
+std::string synthetic_graph(int n_nodes, int avg_degree, common::Rng& rng);
+
+/// Deterministic synthetic corpus with Zipf-distributed words.
+class ZipfCorpus {
+ public:
+  explicit ZipfCorpus(ZipfOptions opts = {}) : opts_(opts) {}
+
+  /// Generates at least `target` bytes of text (ends at a line boundary).
+  std::string generate(Bytes target, common::Rng& rng) const;
+
+  /// The word at a given frequency rank ("w1" is the most common).
+  static std::string word_for_rank(std::int64_t rank);
+
+ private:
+  ZipfOptions opts_;
+};
+
+}  // namespace vcmr::mr

@@ -1,0 +1,42 @@
+#include "mr/keyvalue.h"
+
+namespace vcmr::mr {
+
+std::string serialize_kvs(const std::vector<KeyValue>& kvs) {
+  std::string out;
+  std::size_t total = 0;
+  for (const auto& kv : kvs) total += kv.key.size() + kv.value.size() + 2;
+  out.reserve(total);
+  for (const auto& kv : kvs) {
+    out += kv.key;
+    out += ' ';
+    out += kv.value;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<KeyValue> parse_kvs(std::string_view payload) {
+  std::vector<KeyValue> out;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    const std::string_view line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t sep = line.find(' ');
+    if (sep == std::string_view::npos || sep == 0) continue;
+    out.push_back({std::string(line.substr(0, sep)),
+                   std::string(line.substr(sep + 1))});
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<std::string>> group_by_key(
+    const std::vector<KeyValue>& kvs) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const auto& kv : kvs) out[kv.key].push_back(kv.value);
+  return out;
+}
+
+}  // namespace vcmr::mr

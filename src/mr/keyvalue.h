@@ -1,0 +1,34 @@
+#pragma once
+// Key/value records and their wire format.
+//
+// The paper's word-count app writes one line per record, "key value"
+// (e.g. "test 1", §IV.A); reducers parse lines back. These helpers
+// implement that line format plus grouped iteration for the reduce side.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcmr::mr {
+
+struct KeyValue {
+  std::string key;
+  std::string value;
+
+  friend auto operator<=>(const KeyValue&, const KeyValue&) = default;
+};
+
+/// "key value\n" for each record. Keys must not contain whitespace (the
+/// word-count tokenizer guarantees that); values may.
+std::string serialize_kvs(const std::vector<KeyValue>& kvs);
+
+/// Parses the line format back; malformed lines (no separator) are skipped,
+/// matching the lenient readers MapReduce apps typically use.
+std::vector<KeyValue> parse_kvs(std::string_view payload);
+
+/// Groups records by key, preserving per-key value order; keys sorted.
+std::map<std::string, std::vector<std::string>> group_by_key(
+    const std::vector<KeyValue>& kvs);
+
+}  // namespace vcmr::mr

@@ -1,0 +1,92 @@
+#include "mr/local_runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "common/error.h"
+#include "mr/dataset.h"
+#include "mr/task.h"
+
+namespace vcmr::mr {
+
+namespace {
+
+/// Runs `count` independent tasks on up to `n_threads` workers. Tasks are
+/// claimed via an atomic cursor; each task writes only its own output slot,
+/// so no further synchronisation is needed.
+void parallel_for(int count, int n_threads, const std::function<void(int)>& fn) {
+  require(n_threads >= 1, "parallel_for: need at least one thread");
+  if (n_threads == 1 || count <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  const int spawn = std::min(n_threads, count);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(spawn));
+  for (int t = 0; t < spawn; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+
+LocalJobResult run_local(const MapReduceApp& app, const std::string& input,
+                         const LocalJobOptions& options) {
+  require(options.n_maps >= 1, "run_local: need at least one map");
+  require(options.n_reducers >= 1, "run_local: need at least one reducer");
+
+  LocalJobResult res;
+  res.input_bytes = static_cast<Bytes>(input.size());
+
+  // Split. Chunks carry the "#chunk i" header added by split_text.
+  const std::vector<std::string> chunks = split_text(input, options.n_maps);
+
+  // Map phase: each task fills its own slot of the shuffle matrix.
+  std::vector<MapTaskResult> map_results(
+      static_cast<std::size_t>(options.n_maps));
+  parallel_for(options.n_maps, options.n_threads, [&](int m) {
+    const FilePayload chunk =
+        FilePayload::of_content(chunks[static_cast<std::size_t>(m)]);
+    map_results[static_cast<std::size_t>(m)] =
+        run_map_task(app, chunk, options.n_reducers,
+                     "local_map_" + std::to_string(m), options.use_combiner);
+  });
+  for (const auto& mr : map_results) {
+    for (const auto& p : mr.partitions) res.intermediate_bytes += p.size;
+  }
+
+  // Reduce phase: partition r consumes bucket r of every map.
+  res.reduce_outputs.resize(static_cast<std::size_t>(options.n_reducers));
+  parallel_for(options.n_reducers, options.n_threads, [&](int r) {
+    std::vector<FilePayload> inputs;
+    inputs.reserve(static_cast<std::size_t>(options.n_maps));
+    for (const auto& mr : map_results) {
+      inputs.push_back(mr.partitions[static_cast<std::size_t>(r)]);
+    }
+    const ReduceTaskResult rr =
+        run_reduce_task(app, inputs, "local_reduce_" + std::to_string(r));
+    res.reduce_outputs[static_cast<std::size_t>(r)] = *rr.output.content;
+  });
+
+  // Merge: reducers emit disjoint key sets, so a sort after concatenation
+  // gives the canonical global output.
+  for (const auto& out : res.reduce_outputs) {
+    res.output_bytes += static_cast<Bytes>(out.size());
+    auto kvs = parse_kvs(out);
+    res.output.insert(res.output.end(), std::make_move_iterator(kvs.begin()),
+                      std::make_move_iterator(kvs.end()));
+  }
+  std::sort(res.output.begin(), res.output.end());
+  return res;
+}
+
+}  // namespace vcmr::mr

@@ -1,0 +1,41 @@
+#pragma once
+// In-process multithreaded MapReduce runtime.
+//
+// Runs a job on real data with a worker-thread pool: split → parallel map
+// (with combiner) → shuffle by partition → parallel reduce → merged,
+// key-sorted output. It serves two purposes: a usable local engine for the
+// example programs, and the *correctness oracle* the integration tests
+// compare simulated cluster executions against — any execution path must
+// produce exactly this output.
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mr/app.h"
+#include "mr/keyvalue.h"
+
+namespace vcmr::mr {
+
+struct LocalJobOptions {
+  int n_maps = 4;
+  int n_reducers = 2;
+  int n_threads = 4;        ///< worker threads; 1 = sequential
+  bool use_combiner = true;
+};
+
+struct LocalJobResult {
+  /// Final records from all reducers merged and sorted by key.
+  std::vector<KeyValue> output;
+  /// Raw serialized output of each reducer (index = partition).
+  std::vector<std::string> reduce_outputs;
+  Bytes input_bytes = 0;
+  Bytes intermediate_bytes = 0;  ///< total map-output volume (shuffle size)
+  Bytes output_bytes = 0;
+};
+
+/// Executes `app` over `input`; throws on invalid options.
+LocalJobResult run_local(const MapReduceApp& app, const std::string& input,
+                         const LocalJobOptions& options = {});
+
+}  // namespace vcmr::mr

@@ -1,0 +1,20 @@
+#pragma once
+// Key partitioning: the paper's scheme is "each map output's key is hashed
+// and the output file it writes to is decided ... modulo the number of
+// reducers" (§III.C). All runtimes (local, plain BOINC, BOINC-MR) share
+// this function, so every execution agrees on which reducer owns a key.
+
+#include <string_view>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace vcmr::mr {
+
+inline int partition_of(std::string_view key, int n_reducers) {
+  require(n_reducers >= 1, "partition_of: need at least one reducer");
+  return static_cast<int>(common::fnv1a64(key) %
+                          static_cast<std::uint64_t>(n_reducers));
+}
+
+}  // namespace vcmr::mr

@@ -1,0 +1,115 @@
+#include "mr/task.h"
+
+#include "common/error.h"
+#include "mr/keyvalue.h"
+#include "mr/partition.h"
+
+namespace vcmr::mr {
+
+namespace {
+
+common::Digest128 modelled_digest(std::string_view tag, int sub = -1) {
+  common::Hasher h;
+  h.update(tag);
+  if (sub >= 0) h.update_u64(static_cast<std::uint64_t>(sub));
+  return h.digest();
+}
+
+/// Applies the app's combiner to a bucket of records when it has one.
+std::vector<KeyValue> maybe_combine(const MapReduceApp& app,
+                                    std::vector<KeyValue> records,
+                                    bool use_combiner) {
+  if (!use_combiner) return records;
+  Emitter out;
+  bool any = false;
+  for (auto& [key, values] : group_by_key(records)) {
+    Emitter one;
+    if (!app.combine(key, values, one)) return records;  // no combiner
+    any = true;
+    for (auto& kv : one.take()) out.emit(std::move(kv.key), std::move(kv.value));
+  }
+  return any ? out.take() : records;
+}
+
+}  // namespace
+
+MapTaskResult run_map_task(const MapReduceApp& app, const FilePayload& input,
+                           int n_reducers, std::string_view task_tag,
+                           bool use_combiner) {
+  require(n_reducers >= 1, "run_map_task: need at least one reducer");
+  MapTaskResult res;
+  res.flops = app.cost().map_flops_per_byte * static_cast<double>(input.size);
+  res.partitions.resize(static_cast<std::size_t>(n_reducers));
+
+  if (input.materialised()) {
+    Emitter emitter;
+    app.map(*input.content, emitter);
+    std::vector<KeyValue> records =
+        maybe_combine(app, emitter.take(), use_combiner);
+
+    std::vector<std::vector<KeyValue>> buckets(
+        static_cast<std::size_t>(n_reducers));
+    for (auto& kv : records) {
+      buckets[static_cast<std::size_t>(partition_of(kv.key, n_reducers))]
+          .push_back(std::move(kv));
+    }
+    common::Hasher all;
+    for (int p = 0; p < n_reducers; ++p) {
+      std::string payload = serialize_kvs(buckets[static_cast<std::size_t>(p)]);
+      all.update(payload);
+      res.partitions[static_cast<std::size_t>(p)] =
+          FilePayload::of_content(std::move(payload));
+    }
+    res.digest = all.digest();
+    return res;
+  }
+
+  // Modelled mode: total output = input * ratio, split evenly over
+  // partitions (hash partitioning balances keys in expectation).
+  const auto total_out = static_cast<Bytes>(
+      static_cast<double>(input.size) * app.cost().map_output_ratio);
+  const std::vector<Bytes> sizes = split_sizes(total_out, n_reducers);
+  for (int p = 0; p < n_reducers; ++p) {
+    res.partitions[static_cast<std::size_t>(p)] = FilePayload::of_size(
+        sizes[static_cast<std::size_t>(p)], modelled_digest(task_tag, p));
+  }
+  res.digest = modelled_digest(task_tag);
+  return res;
+}
+
+ReduceTaskResult run_reduce_task(const MapReduceApp& app,
+                                 const std::vector<FilePayload>& inputs,
+                                 std::string_view task_tag) {
+  ReduceTaskResult res;
+  Bytes total_in = 0;
+  bool all_materialised = !inputs.empty();
+  for (const auto& in : inputs) {
+    total_in += in.size;
+    if (!in.materialised()) all_materialised = false;
+  }
+  res.flops = app.cost().reduce_flops_per_byte * static_cast<double>(total_in);
+
+  if (all_materialised) {
+    std::vector<KeyValue> records;
+    for (const auto& in : inputs) {
+      auto kvs = parse_kvs(*in.content);
+      records.insert(records.end(), std::make_move_iterator(kvs.begin()),
+                     std::make_move_iterator(kvs.end()));
+    }
+    Emitter out;
+    for (auto& [key, values] : group_by_key(records)) {
+      app.reduce(key, values, out);
+    }
+    res.output = FilePayload::of_content(serialize_kvs(out.records()));
+    res.digest = res.output.digest;
+    return res;
+  }
+
+  const auto out_size = static_cast<Bytes>(
+      static_cast<double>(total_in) * app.cost().reduce_output_ratio);
+  res.output = FilePayload::of_size(out_size, modelled_digest(task_tag));
+  res.digest = res.output.digest;
+  return res;
+}
+
+}  // namespace vcmr::mr

@@ -1,0 +1,50 @@
+#pragma once
+// Single-task execution: what one volunteer does with one map or reduce
+// work unit. Shared by the simulated BOINC clients and offline tools.
+//
+// Tasks run in one of two modes, decided by the input payloads:
+//  * materialised — real bytes in, real bytes out; digests are content
+//    digests, so replicas agree iff they computed the same thing.
+//  * modelled — only sizes flow; output sizes come from the app's
+//    CostModel and digests are derived deterministically from the task
+//    tag, so honest replicas still agree and byzantine hosts can still
+//    disagree (they corrupt the digest).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mr/app.h"
+#include "mr/dataset.h"
+
+namespace vcmr::mr {
+
+struct MapTaskResult {
+  /// One output per reduce partition, index = partition id.
+  std::vector<FilePayload> partitions;
+  /// Digest over all partition outputs in partition order (what the client
+  /// reports to the server for quorum validation).
+  common::Digest128 digest;
+  /// Work performed; duration on a host = flops / host_flops.
+  double flops = 0.0;
+};
+
+struct ReduceTaskResult {
+  FilePayload output;
+  common::Digest128 digest;
+  double flops = 0.0;
+};
+
+/// Executes a map task over one input chunk, partitioning intermediate
+/// records into `n_reducers` buckets. `task_tag` must be unique per
+/// (job, map index) — it seeds modelled-mode digests.
+MapTaskResult run_map_task(const MapReduceApp& app, const FilePayload& input,
+                           int n_reducers, std::string_view task_tag,
+                           bool use_combiner = true);
+
+/// Executes a reduce task over the map outputs for one partition.
+ReduceTaskResult run_reduce_task(const MapReduceApp& app,
+                                 const std::vector<FilePayload>& inputs,
+                                 std::string_view task_tag);
+
+}  // namespace vcmr::mr

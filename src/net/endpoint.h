@@ -1,0 +1,23 @@
+#pragma once
+// Addressing for the simulated network: a node id plus a port, mirroring the
+// "IP and port" pairs the BOINC-MR scheduler hands to reducers (§III.B).
+
+#include <compare>
+#include <string>
+
+#include "common/types.h"
+
+namespace vcmr::net {
+
+struct Endpoint {
+  NodeId node;
+  int port = 0;
+
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) = default;
+
+  std::string str() const {
+    return "node" + std::to_string(node.value()) + ":" + std::to_string(port);
+  }
+};
+
+}  // namespace vcmr::net

@@ -1,0 +1,48 @@
+#include "net/nat.h"
+
+namespace vcmr::net {
+
+const char* to_string(NatType t) {
+  switch (t) {
+    case NatType::kNone: return "none";
+    case NatType::kFullCone: return "full-cone";
+    case NatType::kRestrictedCone: return "restricted-cone";
+    case NatType::kPortRestricted: return "port-restricted";
+    case NatType::kSymmetric: return "symmetric";
+  }
+  return "?";
+}
+
+bool accepts_inbound(const NatProfile& dst) { return dst.publicly_reachable(); }
+
+double hole_punch_probability(NatType a, NatType b, Transport transport) {
+  // Endpoint-independent mappings punch reliably; a symmetric NAT can only
+  // be punched from a cone-type peer (by port prediction, which mostly
+  // fails), and symmetric-symmetric never works. TCP's simultaneous-open
+  // requirement costs reliability across the board (Ford et al. report
+  // ~82% UDP vs ~64% TCP average success in the wild).
+  auto rank = [](NatType t) {
+    switch (t) {
+      case NatType::kNone: return 0;
+      case NatType::kFullCone: return 1;
+      case NatType::kRestrictedCone: return 2;
+      case NatType::kPortRestricted: return 3;
+      case NatType::kSymmetric: return 4;
+    }
+    return 4;
+  };
+  const int ra = rank(a), rb = rank(b);
+  if (ra == 4 && rb == 4) return 0.0;               // symmetric both sides
+  double p;
+  if (ra == 4 || rb == 4) {
+    // Symmetric on one side: port prediction against a cone NAT.
+    const int other = ra == 4 ? rb : ra;
+    p = other <= 2 ? 0.45 : 0.10;  // port-restricted peer makes it ~hopeless
+  } else {
+    p = 0.95;                                       // cone-to-cone
+  }
+  if (transport == Transport::kTcp) p *= 0.78;      // simultaneous-open tax
+  return p;
+}
+
+}  // namespace vcmr::net

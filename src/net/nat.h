@@ -1,0 +1,52 @@
+#pragma once
+// NAT and firewall modelling (paper §III.D).
+//
+// The paper's prototype assumes volunteers open ports; NAT traversal is
+// listed as future work with a concrete tiered plan (direct → connection
+// reversal → STUN-style hole punching → TURN-style relay). This module
+// models the connectivity rules that plan needs: per-node NAT boxes of the
+// four classical types, reachability queries, and a hole-punching success
+// model that follows the behaviour reported by Ford et al. (ref [18]):
+// punching works unless *both* sides have endpoint-dependent mappings
+// (symmetric NATs), TCP punching being less reliable than UDP.
+
+#include <optional>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace vcmr::net {
+
+enum class NatType {
+  kNone,            ///< public address, inbound connections accepted
+  kFullCone,        ///< endpoint-independent mapping and filtering
+  kRestrictedCone,  ///< filtering by remote IP
+  kPortRestricted,  ///< filtering by remote IP:port
+  kSymmetric,       ///< endpoint-dependent mapping
+};
+const char* to_string(NatType t);
+
+/// Transport used for a traversal attempt; TCP punching succeeds less often.
+enum class Transport { kUdp, kTcp };
+
+/// Per-node NAT/firewall profile.
+struct NatProfile {
+  NatType type = NatType::kNone;
+  /// True when the user explicitly forwarded the service port (the paper's
+  /// "users open ports" deployment mode); inbound then works regardless of
+  /// NAT type.
+  bool port_forwarded = false;
+
+  bool publicly_reachable() const {
+    return type == NatType::kNone || port_forwarded;
+  }
+};
+
+/// Success probability of a simultaneous-open hole punch between two NAT
+/// types, per the measurement literature. Deterministic given the rng.
+double hole_punch_probability(NatType a, NatType b, Transport transport);
+
+/// Convenience: can `dst` accept an unsolicited inbound connection?
+bool accepts_inbound(const NatProfile& dst);
+
+}  // namespace vcmr::net

@@ -1,0 +1,328 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vcmr::net {
+
+const char* to_string(NetError e) {
+  switch (e) {
+    case NetError::kNodeOffline: return "node offline";
+    case NetError::kInjectedFailure: return "injected failure";
+    case NetError::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Network::Network(sim::Simulation& sim)
+    : sim_(sim), fail_rng_(sim.rng_stream("net.flowfail")) {}
+
+NodeId Network::add_node(const NodeConfig& cfg) {
+  const NodeId id{static_cast<std::int64_t>(nodes_.size())};
+  Node n;
+  n.cfg = cfg;
+  if (n.cfg.name.empty()) n.cfg.name = "node" + std::to_string(id.value());
+  require(n.cfg.up_bps > 0 && n.cfg.down_bps > 0,
+          "Network::add_node: capacities must be positive");
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+Network::Node& Network::node(NodeId id) {
+  require(id.valid() && static_cast<std::size_t>(id.value()) < nodes_.size(),
+          "Network: unknown node id");
+  return nodes_[static_cast<std::size_t>(id.value())];
+}
+
+const Network::Node& Network::node(NodeId id) const {
+  require(id.valid() && static_cast<std::size_t>(id.value()) < nodes_.size(),
+          "Network: unknown node id");
+  return nodes_[static_cast<std::size_t>(id.value())];
+}
+
+const std::string& Network::node_name(NodeId id) const {
+  return node(id).cfg.name;
+}
+
+void Network::set_online(NodeId id, bool online) {
+  Node& n = node(id);
+  if (n.online == online) return;
+  n.online = online;
+  if (!online) fail_flows_touching(id);
+}
+
+bool Network::online(NodeId id) const { return node(id).online; }
+
+SimTime Network::latency(NodeId id) const { return node(id).cfg.latency; }
+
+double Network::up_bps(NodeId id) const { return node(id).cfg.up_bps; }
+double Network::down_bps(NodeId id) const { return node(id).cfg.down_bps; }
+
+SimTime Network::rtt(NodeId a, NodeId b) const {
+  return (latency(a) + latency(b)) * 2.0;
+}
+
+const NodeTraffic& Network::traffic(NodeId id) const {
+  return node(id).traffic;
+}
+
+std::vector<std::int64_t> Network::resources_of(const Flow& f) const {
+  std::vector<std::int64_t> r{up_key(f.spec.src), down_key(f.spec.dst)};
+  if (f.spec.relay) {
+    r.push_back(down_key(*f.spec.relay));
+    r.push_back(up_key(*f.spec.relay));
+  }
+  return r;
+}
+
+double Network::resource_capacity(std::int64_t key) const {
+  const NodeId id{key >= 0 ? key : -key - 1};
+  const Node& n = node(id);
+  return key >= 0 ? n.cfg.up_bps : n.cfg.down_bps;
+}
+
+FlowId Network::start_flow(FlowSpec spec) {
+  require(spec.bytes >= 0, "start_flow: negative size");
+  const FlowId id{next_flow_id_++};
+
+  if (!online(spec.src) || !online(spec.dst) ||
+      (spec.relay && !online(*spec.relay))) {
+    // Report asynchronously so callers never re-enter themselves.
+    auto on_fail = spec.on_fail;
+    sim_.after(SimTime::zero(), [on_fail] {
+      if (on_fail) on_fail(NetError::kNodeOffline);
+    });
+    return id;
+  }
+
+  Flow f;
+  f.spec = std::move(spec);
+  f.last_update = sim_.now();
+  if (flow_failure_rate_ > 0.0 &&
+      f.spec.src != failure_exempt_ && f.spec.dst != failure_exempt_ &&
+      fail_rng_.chance(flow_failure_rate_)) {
+    // Fail at a uniformly random progress point.
+    f.fail_after_bytes = static_cast<Bytes>(
+        fail_rng_.uniform() * static_cast<double>(f.spec.bytes));
+  }
+  flows_.emplace(id, std::move(f));
+  reallocate();
+  return id;
+}
+
+void Network::cancel_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle(it->second);
+  sim_.cancel(it->second.completion);
+  flows_.erase(it);
+  reallocate();
+}
+
+bool Network::flow_active(FlowId id) const { return flows_.count(id) > 0; }
+
+double Network::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double Network::instantaneous_tx_bps(NodeId id) const {
+  double rate = 0;
+  for (const auto& [fid, f] : flows_) {
+    if (f.spec.src == id) rate += f.rate;
+    if (f.spec.relay && *f.spec.relay == id) rate += f.rate;
+  }
+  return rate;
+}
+
+double Network::instantaneous_rx_bps(NodeId id) const {
+  double rate = 0;
+  for (const auto& [fid, f] : flows_) {
+    if (f.spec.dst == id) rate += f.rate;
+    if (f.spec.relay && *f.spec.relay == id) rate += f.rate;
+  }
+  return rate;
+}
+
+void Network::settle(Flow& f) {
+  const SimTime now = sim_.now();
+  if (now > f.last_update && f.rate > 0.0) {
+    const double dt = (now - f.last_update).as_seconds();
+    auto delta = static_cast<Bytes>(std::llround(f.rate * dt));
+    delta = std::min(delta, f.spec.bytes - f.done);
+    f.done += delta;
+    node(f.spec.src).traffic.bytes_sent += delta;
+    node(f.spec.dst).traffic.bytes_received += delta;
+    if (f.spec.relay) node(*f.spec.relay).traffic.bytes_relayed += delta;
+    total_bytes_ += delta;
+  }
+  f.last_update = now;
+}
+
+void Network::reallocate() {
+  // 1. Settle all flows to the current instant.
+  for (auto& [id, f] : flows_) settle(f);
+
+  // 2. Progressive filling, foreground first, background on the residue.
+  std::map<std::int64_t, double> cap;       // remaining capacity per resource
+  for (auto& [id, f] : flows_) {
+    for (const auto r : resources_of(f)) {
+      cap.emplace(r, resource_capacity(r));
+    }
+    f.rate = 0.0;
+  }
+
+  for (const FlowPriority cls :
+       {FlowPriority::kForeground, FlowPriority::kBackground}) {
+    // Flows of this class still awaiting a rate.
+    std::map<FlowId, const Flow*> pending;
+    std::map<std::int64_t, int> users;  // resource -> #pending flows
+    for (const auto& [id, f] : flows_) {
+      if (f.spec.priority != cls) continue;
+      pending.emplace(id, &f);
+      for (const auto r : resources_of(f)) ++users[r];
+    }
+    while (!pending.empty()) {
+      // Find the bottleneck: resource with the smallest fair share.
+      double best_share = std::numeric_limits<double>::infinity();
+      std::int64_t best_r = 0;
+      for (const auto& [r, n] : users) {
+        if (n <= 0) continue;
+        const double share = std::max(0.0, cap[r]) / n;
+        if (share < best_share) {
+          best_share = share;
+          best_r = r;
+        }
+      }
+      if (!std::isfinite(best_share)) break;
+      // Freeze every pending flow crossing the bottleneck at the fair share.
+      for (auto it = pending.begin(); it != pending.end();) {
+        const auto rs = resources_of(*it->second);
+        if (std::find(rs.begin(), rs.end(), best_r) == rs.end()) {
+          ++it;
+          continue;
+        }
+        flows_.at(it->first).rate = best_share;
+        for (const auto r : rs) {
+          cap[r] -= best_share;
+          --users[r];
+        }
+        it = pending.erase(it);
+      }
+    }
+  }
+
+  // 3. Reschedule each flow's next milestone (injected failure or finish).
+  const SimTime now = sim_.now();
+  for (auto& [id, f] : flows_) {
+    sim_.cancel(f.completion);
+    f.completion = sim::EventHandle{};
+    const Bytes target = (f.fail_after_bytes >= 0 && f.done < f.fail_after_bytes)
+                             ? f.fail_after_bytes
+                             : f.spec.bytes;
+    const Bytes left = target - f.done;
+    if (left <= 0) {
+      // Already past the milestone; fire now.
+      const FlowId fid = id;
+      const bool is_failure = f.fail_after_bytes >= 0 && target == f.fail_after_bytes;
+      f.completion = sim_.after(SimTime::zero(), [this, fid, is_failure] {
+        if (is_failure) {
+          fail_flow(fid, NetError::kInjectedFailure);
+        } else {
+          complete_flow(fid);
+        }
+      });
+      continue;
+    }
+    if (f.rate < 1e-3) {
+      // Stalled (starved background class) or floating-point residue from
+      // the water-filling subtraction; a sub-millibyte/s rate would also
+      // overflow SimTime when converted to a completion instant.
+      f.rate = 0.0;
+      continue;
+    }
+    const double secs = static_cast<double>(left) / f.rate;
+    const FlowId fid = id;
+    const bool is_failure = target == f.fail_after_bytes && f.fail_after_bytes >= 0 &&
+                            f.fail_after_bytes < f.spec.bytes;
+    f.completion = sim_.at(now + SimTime::seconds(secs), [this, fid, is_failure] {
+      if (is_failure) {
+        fail_flow(fid, NetError::kInjectedFailure);
+      } else {
+        complete_flow(fid);
+      }
+    });
+  }
+}
+
+void Network::complete_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle(it->second);
+  // Rounding can leave a few bytes unaccounted; attribute them now so the
+  // counters always sum to the flow size.
+  Flow& f = it->second;
+  const Bytes slack = f.spec.bytes - f.done;
+  if (slack != 0) {
+    node(f.spec.src).traffic.bytes_sent += slack;
+    node(f.spec.dst).traffic.bytes_received += slack;
+    if (f.spec.relay) node(*f.spec.relay).traffic.bytes_relayed += slack;
+    total_bytes_ += slack;
+    f.done = f.spec.bytes;
+  }
+  auto cb = std::move(f.spec.on_complete);
+  flows_.erase(it);
+  reallocate();
+  if (cb) cb();
+}
+
+void Network::fail_flow(FlowId id, NetError err) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle(it->second);
+  auto cb = std::move(it->second.spec.on_fail);
+  sim_.cancel(it->second.completion);
+  flows_.erase(it);
+  reallocate();
+  if (cb) cb(err);
+}
+
+void Network::fail_flows_touching(NodeId id) {
+  std::vector<FlowId> doomed;
+  for (const auto& [fid, f] : flows_) {
+    if (f.spec.src == id || f.spec.dst == id ||
+        (f.spec.relay && *f.spec.relay == id)) {
+      doomed.push_back(fid);
+    }
+  }
+  for (const FlowId fid : doomed) fail_flow(fid, NetError::kNodeOffline);
+}
+
+void Network::send_message(NodeId from, NodeId to, Bytes size,
+                           std::function<void()> on_delivered,
+                           std::function<void(NetError)> on_fail) {
+  if (!online(from) || !online(to)) {
+    sim_.after(SimTime::zero(), [on_fail] {
+      if (on_fail) on_fail(NetError::kNodeOffline);
+    });
+    return;
+  }
+  // Control messages are latency-bound: propagation plus serialisation at
+  // the slower of the two access links; they do not contend with data flows.
+  const double ser_rate =
+      std::min(node(from).cfg.up_bps, node(to).cfg.down_bps);
+  const SimTime delay = latency(from) + latency(to) +
+                        SimTime::seconds(static_cast<double>(size) / ser_rate);
+  sim_.after(delay, [this, to, on_delivered = std::move(on_delivered),
+                     on_fail = std::move(on_fail)] {
+    if (!online(to)) {
+      if (on_fail) on_fail(NetError::kNodeOffline);
+      return;
+    }
+    if (on_delivered) on_delivered();
+  });
+}
+
+}  // namespace vcmr::net

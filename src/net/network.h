@@ -1,0 +1,164 @@
+#pragma once
+// Flow-level network simulator.
+//
+// Stands in for the paper's Emulab testbed (§IV.A: ~40 machines on 100 Mbit
+// interfaces). Each node has an asymmetric access link to an uncongested
+// core; a transfer is a *flow* that consumes the sender's uplink and the
+// receiver's downlink (and, when relayed, the relay's both directions).
+// Bandwidth is divided by progressive filling (max-min fairness), the
+// steady-state behaviour of competing TCP flows — the granularity at which
+// the paper's effects (data-server bottleneck, inter-client offload) live.
+//
+// TCP-Nice (§III.D future work) is modelled by a two-class allocator:
+// kBackground flows receive only capacity left over after all kForeground
+// flows are allocated, emulating Nice's yield-to-foreground behaviour.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulation.h"
+
+namespace vcmr::net {
+
+/// Two-class priority used by the TCP-Nice model.
+enum class FlowPriority { kForeground, kBackground };
+
+struct NodeConfig {
+  double up_bps = 100e6 / 8;    ///< uplink capacity, bytes/s (default 100 Mbit)
+  double down_bps = 100e6 / 8;  ///< downlink capacity, bytes/s
+  SimTime latency = SimTime::millis(10);  ///< one-way to the core
+  std::string name;             ///< for traces; auto-generated when empty
+};
+
+/// Why a flow or message failed.
+enum class NetError {
+  kNodeOffline,       ///< an endpoint (or relay) went offline mid-transfer
+  kInjectedFailure,   ///< failure injection (models resets, broken paths)
+  kCancelled,         ///< caller cancelled
+};
+const char* to_string(NetError e);
+
+struct FlowSpec {
+  NodeId src;                    ///< sender
+  NodeId dst;                    ///< receiver
+  Bytes bytes = 0;
+  FlowPriority priority = FlowPriority::kForeground;
+  std::optional<NodeId> relay;   ///< traffic additionally traverses this node
+  std::function<void()> on_complete;
+  std::function<void(NetError)> on_fail;
+};
+
+/// Cumulative per-node traffic counters (server-offload metric in E6).
+struct NodeTraffic {
+  Bytes bytes_sent = 0;
+  Bytes bytes_received = 0;
+  Bytes bytes_relayed = 0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulation& sim);
+
+  // --- topology ---------------------------------------------------------
+  NodeId add_node(const NodeConfig& cfg);
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(NodeId id) const;
+
+  void set_online(NodeId id, bool online);
+  bool online(NodeId id) const;
+
+  /// One-way latency of a node's access path.
+  SimTime latency(NodeId id) const;
+  double up_bps(NodeId id) const;
+  double down_bps(NodeId id) const;
+  /// Round-trip time between two nodes through the core.
+  SimTime rtt(NodeId a, NodeId b) const;
+
+  // --- data flows -------------------------------------------------------
+  /// Starts a bulk transfer; completion/failure is reported via callbacks.
+  /// Returns an id usable with cancel_flow().
+  FlowId start_flow(FlowSpec spec);
+  void cancel_flow(FlowId id);
+  bool flow_active(FlowId id) const;
+  /// Instantaneous allocated rate, bytes/s (0 if not active).
+  double flow_rate(FlowId id) const;
+  std::size_t active_flow_count() const { return flows_.size(); }
+  /// Instantaneous egress/ingress rate of a node, bytes/s, summed over the
+  /// flows currently using its links (utilization timelines).
+  double instantaneous_tx_bps(NodeId id) const;
+  double instantaneous_rx_bps(NodeId id) const;
+
+  // --- small messages ---------------------------------------------------
+  /// Latency-bound delivery for control messages (scheduler RPCs etc.);
+  /// does not contend with data flows. Fails if either node is offline at
+  /// send or delivery time.
+  void send_message(NodeId from, NodeId to, Bytes size,
+                    std::function<void()> on_delivered,
+                    std::function<void(NetError)> on_fail = nullptr);
+
+  // --- failure injection ------------------------------------------------
+  /// Each subsequently started flow independently fails mid-transfer with
+  /// this probability (draws from stream "net.flowfail").
+  void set_flow_failure_rate(double p) { flow_failure_rate_ = p; }
+  /// Restrict injected failures to flows where neither endpoint is `except`
+  /// (lets tests break only inter-client paths while server paths stay up).
+  void set_failure_exempt_node(NodeId id) { failure_exempt_ = id; }
+
+  // --- accounting -------------------------------------------------------
+  const NodeTraffic& traffic(NodeId id) const;
+  /// Total bytes moved by completed flows.
+  Bytes total_bytes_transferred() const { return total_bytes_; }
+
+  sim::Simulation& sim() { return sim_; }
+
+ private:
+  struct Node {
+    NodeConfig cfg;
+    bool online = true;
+    NodeTraffic traffic;
+  };
+
+  struct Flow {
+    FlowSpec spec;
+    Bytes done = 0;
+    double rate = 0.0;           ///< bytes/s under current allocation
+    SimTime last_update;
+    sim::EventHandle completion;
+    std::optional<SimTime> injected_fail_at;  ///< absolute progress point
+    Bytes fail_after_bytes = -1;  ///< injected failure threshold; -1 = none
+  };
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+
+  /// Settle progress at `now`, recompute the max-min allocation for both
+  /// priority classes, and reschedule every completion event.
+  void reallocate();
+  void settle(Flow& f);
+  void complete_flow(FlowId id);
+  void fail_flow(FlowId id, NetError err);
+  /// Fails every flow that traverses `id` (endpoint or relay).
+  void fail_flows_touching(NodeId id);
+
+  /// Resource keys for the allocator: +id = uplink, -id-1 = downlink.
+  static std::int64_t up_key(NodeId id) { return id.value(); }
+  static std::int64_t down_key(NodeId id) { return -id.value() - 1; }
+  std::vector<std::int64_t> resources_of(const Flow& f) const;
+  double resource_capacity(std::int64_t key) const;
+
+  sim::Simulation& sim_;
+  std::vector<Node> nodes_;
+  std::map<FlowId, Flow> flows_;  ///< ordered: deterministic iteration
+  std::int64_t next_flow_id_ = 1;
+  double flow_failure_rate_ = 0.0;
+  NodeId failure_exempt_ = NodeId::invalid();
+  common::Rng fail_rng_;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace vcmr::net

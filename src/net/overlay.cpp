@@ -1,0 +1,124 @@
+#include "net/overlay.h"
+
+#include <algorithm>
+
+namespace vcmr::net {
+
+SupernodeOverlay::SupernodeOverlay(Network& network, OverlayConfig cfg)
+    : net_(network), cfg_(cfg) {}
+
+void SupernodeOverlay::join(NodeId node, const NatProfile& profile) {
+  if (members_.emplace(node, Member{profile, {}}).second) {
+    member_order_.push_back(node);
+  } else {
+    members_[node].profile = profile;
+  }
+  rebuild();
+}
+
+void SupernodeOverlay::leave(NodeId node) {
+  if (members_.erase(node) == 0) return;
+  member_order_.erase(
+      std::remove(member_order_.begin(), member_order_.end(), node),
+      member_order_.end());
+  relay_load_.erase(node);
+  rebuild();
+}
+
+void SupernodeOverlay::rebuild() {
+  // Candidates: publicly reachable members with enough uplink, best first.
+  std::vector<NodeId> candidates;
+  for (const NodeId id : member_order_) {
+    const Member& m = members_.at(id);
+    if (!m.profile.publicly_reachable()) continue;
+    if (!net_.online(id)) continue;
+    candidates.push_back(id);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](NodeId a, NodeId b) {
+                     // Higher uplink first; node id as deterministic tiebreak.
+                     return std::make_pair(-net_.up_bps(a), a.value()) <
+                            std::make_pair(-net_.up_bps(b), b.value());
+                   });
+
+  const auto want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(members_.size()) * cfg_.supernode_fraction));
+  supernodes_.clear();
+  for (const NodeId id : candidates) {
+    if (net_.up_bps(id) < cfg_.min_supernode_up_bps) continue;
+    supernodes_.push_back(id);
+    if (supernodes_.size() >= want) break;
+  }
+
+  // Attach ordinary nodes round-robin for balance (deterministic order).
+  std::size_t cursor = 0;
+  for (const NodeId id : member_order_) {
+    Member& m = members_.at(id);
+    m.attached.clear();
+    if (supernodes_.empty()) continue;
+    if (is_supernode(id)) {
+      m.attached.push_back(id);
+      continue;
+    }
+    const int k = std::min<int>(cfg_.attachments,
+                                static_cast<int>(supernodes_.size()));
+    for (int i = 0; i < k; ++i) {
+      m.attached.push_back(supernodes_[(cursor + static_cast<std::size_t>(i)) %
+                                       supernodes_.size()]);
+    }
+    cursor = (cursor + 1) % supernodes_.size();
+  }
+}
+
+bool SupernodeOverlay::is_supernode(NodeId node) const {
+  return std::find(supernodes_.begin(), supernodes_.end(), node) !=
+         supernodes_.end();
+}
+
+std::vector<NodeId> SupernodeOverlay::attachments_of(NodeId node) const {
+  const auto it = members_.find(node);
+  return it == members_.end() ? std::vector<NodeId>{} : it->second.attached;
+}
+
+std::optional<NodeId> SupernodeOverlay::pick_relay(NodeId a, NodeId b) {
+  (void)a;
+  (void)b;
+  std::optional<NodeId> best;
+  std::int64_t best_load = 0;
+  for (const NodeId sn : supernodes_) {
+    if (!net_.online(sn)) continue;
+    const std::int64_t load = relay_load(sn);
+    if (!best || load < best_load) {
+      best = sn;
+      best_load = load;
+    }
+  }
+  if (best) ++relay_load_[*best];
+  return best;
+}
+
+void SupernodeOverlay::release_relay(NodeId supernode) {
+  auto it = relay_load_.find(supernode);
+  if (it != relay_load_.end() && it->second > 0) --it->second;
+}
+
+std::int64_t SupernodeOverlay::relay_load(NodeId supernode) const {
+  const auto it = relay_load_.find(supernode);
+  return it == relay_load_.end() ? 0 : it->second;
+}
+
+int SupernodeOverlay::lookup_hops(NodeId from, NodeId peer) const {
+  const auto fi = members_.find(from);
+  const auto pi = members_.find(peer);
+  if (fi == members_.end() || pi == members_.end()) return 0;
+  if (supernodes_.empty()) return 0;
+  for (const NodeId a : fi->second.attached) {
+    for (const NodeId b : pi->second.attached) {
+      if (a == b) return 1;
+    }
+  }
+  return 2;
+}
+
+}  // namespace vcmr::net

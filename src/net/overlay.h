@@ -1,0 +1,72 @@
+#pragma once
+// Supernode overlay (paper §III.D).
+//
+// The paper proposes a KaZaA/Skype-style two-layer network as an
+// alternative to relaying through the project server: well-connected,
+// publicly reachable volunteers are promoted to *supernodes*; ordinary
+// nodes attach to a few of them, issue peer lookups through them, and use
+// them as relays — keeping relay traffic off the central server.
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/nat.h"
+#include "net/network.h"
+
+namespace vcmr::net {
+
+struct OverlayConfig {
+  /// Minimum uplink (bytes/s) a node needs to qualify as a supernode.
+  /// 1.5 Mbit clears a typical broadband volunteer's last mile.
+  double min_supernode_up_bps = 1.5e6 / 8;
+  /// Target number of supernodes as a fraction of members (>= 1 enforced).
+  double supernode_fraction = 0.1;
+  /// How many supernodes each ordinary node attaches to.
+  int attachments = 2;
+};
+
+class SupernodeOverlay {
+ public:
+  SupernodeOverlay(Network& network, OverlayConfig cfg = {});
+
+  /// Adds a member with its NAT profile; re-evaluates promotions.
+  void join(NodeId node, const NatProfile& profile);
+  void leave(NodeId node);
+
+  bool is_supernode(NodeId node) const;
+  std::size_t member_count() const { return members_.size(); }
+  std::size_t supernode_count() const { return supernodes_.size(); }
+  const std::vector<NodeId>& supernodes() const { return supernodes_; }
+  /// The supernodes an ordinary member is attached to (itself if supernode).
+  std::vector<NodeId> attachments_of(NodeId node) const;
+
+  /// Least-loaded supernode usable as a relay between a and b; counts the
+  /// assignment against that supernode's load. Empty when no supernode
+  /// exists (caller then falls back to the project server).
+  std::optional<NodeId> pick_relay(NodeId a, NodeId b);
+  void release_relay(NodeId supernode);
+  std::int64_t relay_load(NodeId supernode) const;
+
+  /// Number of overlay hops to resolve a peer query from `from` (1 when the
+  /// queried peer shares a supernode, 2 otherwise); 0 when unresolvable.
+  /// Used to model lookup latency.
+  int lookup_hops(NodeId from, NodeId peer) const;
+
+ private:
+  void rebuild();
+
+  Network& net_;
+  OverlayConfig cfg_;
+  struct Member {
+    NatProfile profile;
+    std::vector<NodeId> attached;
+  };
+  std::unordered_map<NodeId, Member> members_;
+  std::vector<NodeId> member_order_;  ///< deterministic iteration
+  std::vector<NodeId> supernodes_;
+  std::unordered_map<NodeId, std::int64_t> relay_load_;
+};
+
+}  // namespace vcmr::net

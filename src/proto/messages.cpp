@@ -1,0 +1,219 @@
+#include "proto/messages.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/xml.h"
+
+namespace vcmr::proto {
+
+using common::XmlNode;
+
+namespace {
+
+void put_i64(XmlNode& n, const char* key, std::int64_t v) {
+  n.add_child_text(key, std::to_string(v));
+}
+void put_double(XmlNode& n, const char* key, double v) {
+  n.add_child_text(key, common::strprintf("%.17g", v));
+}
+void put_digest(XmlNode& n, const char* key, const common::Digest128& d) {
+  XmlNode& c = n.add_child(key);
+  put_i64(c, "hi", static_cast<std::int64_t>(d.hi));
+  put_i64(c, "lo", static_cast<std::int64_t>(d.lo));
+}
+common::Digest128 get_digest(const XmlNode& n, const char* key) {
+  common::Digest128 d;
+  if (const XmlNode* c = n.child(key)) {
+    d.hi = static_cast<std::uint64_t>(c->child_i64("hi"));
+    d.lo = static_cast<std::uint64_t>(c->child_i64("lo"));
+  }
+  return d;
+}
+void put_endpoint(XmlNode& n, const char* key, const net::Endpoint& ep) {
+  XmlNode& c = n.add_child(key);
+  put_i64(c, "node", ep.node.value());
+  put_i64(c, "port", ep.port);
+}
+net::Endpoint get_endpoint(const XmlNode& n, const char* key) {
+  net::Endpoint ep;
+  if (const XmlNode* c = n.child(key)) {
+    ep.node = NodeId{c->child_i64("node")};
+    ep.port = static_cast<int>(c->child_i64("port"));
+  }
+  return ep;
+}
+
+void put_peer(XmlNode& parent, const PeerLocation& p) {
+  XmlNode& n = parent.add_child("peer");
+  put_i64(n, "map_index", p.map_index);
+  n.add_child_text("file_name", p.file_name);
+  put_i64(n, "size", p.size);
+  put_i64(n, "holder_host", p.holder_host);
+  put_endpoint(n, "endpoint", p.endpoint);
+  put_i64(n, "on_server", p.on_server ? 1 : 0);
+}
+PeerLocation get_peer(const XmlNode& n) {
+  PeerLocation p;
+  p.map_index = static_cast<int>(n.child_i64("map_index"));
+  p.file_name = n.child_text("file_name");
+  p.size = n.child_i64("size");
+  p.holder_host = n.child_i64("holder_host");
+  p.endpoint = get_endpoint(n, "endpoint");
+  p.on_server = n.child_i64("on_server") != 0;
+  return p;
+}
+
+}  // namespace
+
+std::string to_xml(const SchedulerRequest& req) {
+  XmlNode root("scheduler_request");
+  put_i64(root, "host_id", req.host_id);
+  put_i64(root, "tasks_queued", req.tasks_queued);
+  put_double(root, "remaining_work_seconds", req.remaining_work_seconds);
+  put_double(root, "work_request_seconds", req.work_request_seconds);
+  put_i64(root, "mr_capable", req.mr_capable ? 1 : 0);
+  put_endpoint(root, "serving_endpoint", req.serving_endpoint);
+  for (const auto& f : req.cached_files) {
+    root.add_child_text("cached_file", f);
+  }
+  for (const auto& r : req.reports) {
+    XmlNode& n = root.add_child("result");
+    put_i64(n, "result_id", r.result_id);
+    n.add_child_text("name", r.name);
+    put_i64(n, "success", r.success ? 1 : 0);
+    put_digest(n, "digest", r.digest);
+    put_i64(n, "output_bytes", r.output_bytes);
+    put_double(n, "claimed_credit", r.claimed_credit);
+    for (const auto& f : r.outputs) {
+      XmlNode& fo = n.add_child("output_file");
+      fo.add_child_text("name", f.name);
+      put_i64(fo, "size", f.size);
+      put_digest(fo, "digest", f.digest);
+      put_i64(fo, "uploaded", f.uploaded ? 1 : 0);
+      put_i64(fo, "reduce_partition", f.reduce_partition);
+    }
+  }
+  return root.to_string();
+}
+
+SchedulerRequest request_from_xml(const std::string& xml) {
+  const auto root = common::xml_parse(xml);
+  require(root->name() == "scheduler_request", "bad scheduler_request xml");
+  SchedulerRequest req;
+  req.host_id = root->child_i64("host_id", -1);
+  req.tasks_queued = static_cast<int>(root->child_i64("tasks_queued"));
+  req.remaining_work_seconds = root->child_double("remaining_work_seconds");
+  req.work_request_seconds = root->child_double("work_request_seconds");
+  req.mr_capable = root->child_i64("mr_capable") != 0;
+  req.serving_endpoint = get_endpoint(*root, "serving_endpoint");
+  for (const XmlNode* fc : root->children("cached_file")) {
+    req.cached_files.push_back(fc->text());
+  }
+  for (const XmlNode* rn : root->children("result")) {
+    ReportedResult r;
+    r.result_id = rn->child_i64("result_id", -1);
+    r.name = rn->child_text("name");
+    r.success = rn->child_i64("success") != 0;
+    r.digest = get_digest(*rn, "digest");
+    r.output_bytes = rn->child_i64("output_bytes");
+    r.claimed_credit = rn->child_double("claimed_credit");
+    for (const XmlNode* fn : rn->children("output_file")) {
+      OutputFileInfo f;
+      f.name = fn->child_text("name");
+      f.size = fn->child_i64("size");
+      f.digest = get_digest(*fn, "digest");
+      f.uploaded = fn->child_i64("uploaded") != 0;
+      f.reduce_partition = static_cast<int>(fn->child_i64("reduce_partition", -1));
+      r.outputs.push_back(std::move(f));
+    }
+    req.reports.push_back(std::move(r));
+  }
+  return req;
+}
+
+std::string to_xml(const SchedulerReply& reply) {
+  XmlNode root("scheduler_reply");
+  put_i64(root, "request_delay_us", reply.request_delay.as_micros());
+  put_i64(root, "had_work", reply.had_work ? 1 : 0);
+  put_i64(root, "report_map_results_immediately",
+          reply.report_map_results_immediately ? 1 : 0);
+  put_i64(root, "keep_serving", reply.keep_serving ? 1 : 0);
+  for (const auto& t : reply.tasks) {
+    XmlNode& n = root.add_child("task");
+    put_i64(n, "result_id", t.result_id);
+    n.add_child_text("result_name", t.result_name);
+    n.add_child_text("wu_name", t.wu_name);
+    n.add_child_text("app", t.app);
+    put_i64(n, "phase", static_cast<int>(t.phase));
+    put_i64(n, "job_id", t.job_id);
+    put_i64(n, "mr_index", t.mr_index);
+    put_i64(n, "n_maps", t.n_maps);
+    put_i64(n, "n_reducers", t.n_reducers);
+    put_double(n, "flops_estimate", t.flops_estimate);
+    put_i64(n, "report_deadline_us", t.report_deadline.as_micros());
+    put_i64(n, "inputs_complete", t.inputs_complete ? 1 : 0);
+    for (const auto& in : t.inputs) {
+      XmlNode& fi = n.add_child("input_file");
+      fi.add_child_text("name", in.name);
+      put_i64(fi, "size", in.size);
+      put_i64(fi, "on_server", in.on_server ? 1 : 0);
+      for (const auto& p : in.peers) put_peer(fi, p);
+    }
+  }
+  for (const auto& u : reply.location_updates) {
+    XmlNode& n = root.add_child("location_update");
+    put_i64(n, "result_id", u.result_id);
+    put_i64(n, "complete", u.complete ? 1 : 0);
+    for (const auto& p : u.peers) put_peer(n, p);
+  }
+  return root.to_string();
+}
+
+SchedulerReply reply_from_xml(const std::string& xml) {
+  const auto root = common::xml_parse(xml);
+  require(root->name() == "scheduler_reply", "bad scheduler_reply xml");
+  SchedulerReply reply;
+  reply.request_delay = SimTime::micros(root->child_i64("request_delay_us"));
+  reply.had_work = root->child_i64("had_work") != 0;
+  reply.report_map_results_immediately =
+      root->child_i64("report_map_results_immediately") != 0;
+  reply.keep_serving = root->child_i64("keep_serving") != 0;
+  for (const XmlNode* tn : root->children("task")) {
+    AssignedTask t;
+    t.result_id = tn->child_i64("result_id", -1);
+    t.result_name = tn->child_text("result_name");
+    t.wu_name = tn->child_text("wu_name");
+    t.app = tn->child_text("app");
+    t.phase = static_cast<TaskPhase>(tn->child_i64("phase"));
+    t.job_id = tn->child_i64("job_id", -1);
+    t.mr_index = static_cast<int>(tn->child_i64("mr_index", -1));
+    t.n_maps = static_cast<int>(tn->child_i64("n_maps"));
+    t.n_reducers = static_cast<int>(tn->child_i64("n_reducers"));
+    t.flops_estimate = tn->child_double("flops_estimate");
+    t.report_deadline = SimTime::micros(tn->child_i64("report_deadline_us"));
+    t.inputs_complete = tn->child_i64("inputs_complete") != 0;
+    for (const XmlNode* fi : tn->children("input_file")) {
+      InputFileSpec in;
+      in.name = fi->child_text("name");
+      in.size = fi->child_i64("size");
+      in.on_server = fi->child_i64("on_server") != 0;
+      for (const XmlNode* pn : fi->children("peer")) {
+        in.peers.push_back(get_peer(*pn));
+      }
+      t.inputs.push_back(std::move(in));
+    }
+    reply.tasks.push_back(std::move(t));
+  }
+  for (const XmlNode* un : root->children("location_update")) {
+    LocationUpdate u;
+    u.result_id = un->child_i64("result_id", -1);
+    u.complete = un->child_i64("complete") != 0;
+    for (const XmlNode* pn : un->children("peer")) {
+      u.peers.push_back(get_peer(*pn));
+    }
+    reply.location_updates.push_back(std::move(u));
+  }
+  return reply;
+}
+
+}  // namespace vcmr::proto

@@ -1,0 +1,124 @@
+#pragma once
+// Scheduler RPC messages.
+//
+// BOINC's scheduler RPC is an XML POST from the client: it reports finished
+// results and asks for work; the reply carries assigned results and backoff
+// directives. BOINC-MR extends the reply with mapper locations for reduce
+// tasks (§III.B: "the scheduler appends to each reduce result the address
+// (IP and port) of mappers holding output for the same job"). These structs
+// round-trip through the XML wire format, and their serialized size is what
+// the simulated network charges for the RPC.
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "net/endpoint.h"
+
+namespace vcmr::proto {
+
+/// Map/reduce phase tag carried in task assignments (mirrors db::MrPhase
+/// without depending on the db module).
+enum class TaskPhase { kPlain = 0, kMap = 1, kReduce = 2 };
+
+/// One output file a client produced (name + size + where it lives).
+struct OutputFileInfo {
+  std::string name;
+  Bytes size = 0;
+  common::Digest128 digest;
+  bool uploaded = false;  ///< physically uploaded to the data server
+  int reduce_partition = -1;  ///< for map outputs: which reducer wants it
+};
+
+/// A finished result being reported.
+struct ReportedResult {
+  std::int64_t result_id = -1;
+  std::string name;
+  bool success = false;
+  common::Digest128 digest;   ///< digest of all outputs (quorum key)
+  Bytes output_bytes = 0;
+  double claimed_credit = 0;  ///< client's credit claim (validator clips it)
+  std::vector<OutputFileInfo> outputs;
+};
+
+struct SchedulerRequest {
+  std::int64_t host_id = -1;
+  int tasks_queued = 0;              ///< work units on hand (running + queued)
+  double remaining_work_seconds = 0;
+  double work_request_seconds = 0;   ///< > 0 when the client wants work
+  bool mr_capable = false;           ///< BOINC-MR client?
+  net::Endpoint serving_endpoint;    ///< where this client serves map outputs
+  /// Input files this client has cached and is serving (peer-assisted
+  /// input distribution; the scheduler hands them out as PeerLocations).
+  std::vector<std::string> cached_files;
+  std::vector<ReportedResult> reports;
+};
+
+/// Where a reduce input can be fetched from.
+struct PeerLocation {
+  int map_index = -1;
+  std::string file_name;
+  Bytes size = 0;
+  std::int64_t holder_host = -1;
+  net::Endpoint endpoint;
+  bool on_server = false;  ///< also mirrored on the project data server
+};
+
+struct InputFileSpec {
+  std::string name;
+  Bytes size = 0;
+  bool on_server = true;            ///< fetchable from the data server
+  std::vector<PeerLocation> peers;  ///< BOINC-MR alternatives
+};
+
+struct AssignedTask {
+  std::int64_t result_id = -1;
+  std::string result_name;
+  std::string wu_name;
+  std::string app;
+  TaskPhase phase = TaskPhase::kPlain;
+  std::int64_t job_id = -1;
+  int mr_index = -1;
+  int n_maps = 0;
+  int n_reducers = 0;
+  double flops_estimate = 0;
+  SimTime report_deadline;
+  std::vector<InputFileSpec> inputs;
+  /// Pipelined-reduce mode: assignment may precede some map validations;
+  /// the client polls for the remaining locations in later RPCs.
+  bool inputs_complete = true;
+};
+
+/// Late-arriving peer locations for a previously assigned reduce task.
+struct LocationUpdate {
+  std::int64_t result_id = -1;
+  std::vector<PeerLocation> peers;
+  bool complete = false;  ///< all map inputs are now known
+};
+
+struct SchedulerReply {
+  std::vector<AssignedTask> tasks;
+  std::vector<LocationUpdate> location_updates;
+  /// Server-imposed minimum delay before the next RPC.
+  SimTime request_delay = SimTime::zero();
+  /// False when the server had nothing feedable: the client backs off
+  /// exponentially (§IV.B).
+  bool had_work = false;
+  /// Mitigation E4: server asks clients to report map results immediately
+  /// instead of batching them into the next work-fetch RPC.
+  bool report_map_results_immediately = false;
+  /// §III.C: the server still needs this client's validated map outputs
+  /// (some reduce work is unfinished), so the client must re-arm its serve
+  /// timeouts ("the map outputs' timeout is reset ... and the file becomes
+  /// available for upload").
+  bool keep_serving = false;
+};
+
+// --- XML wire format ---------------------------------------------------------
+std::string to_xml(const SchedulerRequest& req);
+std::string to_xml(const SchedulerReply& reply);
+SchedulerRequest request_from_xml(const std::string& xml);
+SchedulerReply reply_from_xml(const std::string& xml);
+
+}  // namespace vcmr::proto

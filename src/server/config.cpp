@@ -1,0 +1,55 @@
+#include "server/config.h"
+
+#include "common/error.h"
+#include "common/xml.h"
+
+namespace vcmr::server {
+
+ProjectConfig parse_mr_jobtracker(const std::string& xml, ProjectConfig base) {
+  const auto root = common::xml_parse(xml);
+  require(root->name() == "mr_jobtracker",
+          "mr_jobtracker.xml: root element must be <mr_jobtracker>");
+  ProjectConfig cfg = base;
+  cfg.default_n_maps =
+      static_cast<int>(root->child_i64("n_maps", cfg.default_n_maps));
+  cfg.default_n_reducers =
+      static_cast<int>(root->child_i64("n_reducers", cfg.default_n_reducers));
+  if (root->has_child("target_nresults")) {
+    cfg.target_nresults = static_cast<int>(root->child_i64("target_nresults"));
+  }
+  if (root->has_child("min_quorum")) {
+    cfg.min_quorum = static_cast<int>(root->child_i64("min_quorum"));
+  }
+  if (root->has_child("mirror_map_outputs")) {
+    cfg.mirror_map_outputs = root->child_i64("mirror_map_outputs") != 0;
+  }
+  if (root->has_child("report_map_results_immediately")) {
+    cfg.report_map_results_immediately =
+        root->child_i64("report_map_results_immediately") != 0;
+  }
+  if (root->has_child("pipelined_reduce")) {
+    cfg.pipelined_reduce = root->child_i64("pipelined_reduce") != 0;
+  }
+  require(cfg.default_n_maps >= 1, "mr_jobtracker.xml: n_maps must be >= 1");
+  require(cfg.default_n_reducers >= 1,
+          "mr_jobtracker.xml: n_reducers must be >= 1");
+  require(cfg.min_quorum >= 1 && cfg.min_quorum <= cfg.target_nresults,
+          "mr_jobtracker.xml: need 1 <= min_quorum <= target_nresults");
+  return cfg;
+}
+
+std::string mr_jobtracker_xml(const ProjectConfig& cfg) {
+  common::XmlNode root("mr_jobtracker");
+  root.add_child_text("n_maps", std::to_string(cfg.default_n_maps));
+  root.add_child_text("n_reducers", std::to_string(cfg.default_n_reducers));
+  root.add_child_text("target_nresults", std::to_string(cfg.target_nresults));
+  root.add_child_text("min_quorum", std::to_string(cfg.min_quorum));
+  root.add_child_text("mirror_map_outputs",
+                      cfg.mirror_map_outputs ? "1" : "0");
+  root.add_child_text("report_map_results_immediately",
+                      cfg.report_map_results_immediately ? "1" : "0");
+  root.add_child_text("pipelined_reduce", cfg.pipelined_reduce ? "1" : "0");
+  return root.to_string();
+}
+
+}  // namespace vcmr::server

@@ -1,0 +1,89 @@
+#pragma once
+// Project-wide server configuration, including the BOINC-MR additions the
+// paper configures through `mr_jobtracker.xml` (§III.B: "We created a
+// general configuration file to the project's directory, mr_jobtracker.xml,
+// which is used to specify MapReduce parameters").
+
+#include <string>
+
+#include "common/types.h"
+
+namespace vcmr::server {
+
+struct ProjectConfig {
+  // --- replication / validation (paper: 2 results per WU, quorum 2) -------
+  int target_nresults = 2;
+  int min_quorum = 2;
+  int max_error_results = 6;
+  int max_total_results = 12;
+  /// Per-result report deadline.
+  SimTime delay_bound = SimTime::hours(4);
+
+  // --- daemon cadences -----------------------------------------------------
+  SimTime feeder_period = SimTime::seconds(5);
+  SimTime transitioner_period = SimTime::seconds(10);
+  SimTime validator_period = SimTime::seconds(10);
+  SimTime assimilator_period = SimTime::seconds(10);
+  int feeder_cache_size = 200;
+
+  // --- scheduler -------------------------------------------------------------
+  /// Simulated CPU time the scheduler spends on one RPC.
+  SimTime rpc_service_time = SimTime::millis(200);
+  /// Minimum delay a client must leave between scheduler RPCs
+  /// (BOINC's min_sendwork_interval).
+  SimTime min_request_delay = SimTime::seconds(6);
+  /// Never hand two results of one WU to the same host (BOINC's
+  /// "one result per user per WU" rule; required for honest quorums).
+  bool one_result_per_host_per_wu = true;
+  /// Deadline check: skip a host too slow to finish a result before its
+  /// report deadline given the work already queued on it ("The scheduler
+  /// takes into account the workload of each requester, as well as its
+  /// hardware ... information", §III.B).
+  bool deadline_check = true;
+  /// Max results handed out in a single RPC.
+  int max_results_per_rpc = 8;
+  /// Cap on results simultaneously in progress on one host (BOINC's
+  /// max_wus_in_progress); keeps one fast host from draining the feeder.
+  int max_wus_in_progress = 2;
+
+  // --- BOINC-MR (mr_jobtracker.xml) -------------------------------------------
+  /// Default number of map / reduce tasks for submitted jobs.
+  int default_n_maps = 20;
+  int default_n_reducers = 5;
+  /// Mirror map outputs to the data server. Required for plain-BOINC
+  /// clients to run reduce tasks and for the peer-download fallback
+  /// (§III.C); BOINC-MR can turn it off to save server bandwidth.
+  bool mirror_map_outputs = true;
+  /// Mitigation E4 (§IV.C): tell clients to report finished map results
+  /// immediately instead of batching them into the next work-fetch RPC.
+  bool report_map_results_immediately = false;
+  /// Mitigation E5 (§IV.C): create reduce work units as soon as the first
+  /// map validates and stream mapper locations to reducers as maps finish,
+  /// so reducers download intermediate data early.
+  bool pipelined_reduce = false;
+  /// Ablation E14: delay-scheduling-style data locality for reduce tasks —
+  /// prefer handing a reduce result to a host that already holds validated
+  /// map outputs for that partition (it then reads them from local disk
+  /// instead of fetching). A result is released to any host after being
+  /// skipped `locality_max_skips` times, so locality never starves work.
+  bool locality_aware_reduce = false;
+  int locality_max_skips = 3;
+  /// Extension E15 (the authors' ref [1] direction, "Optimizing Data
+  /// Distribution in Desktop Grid Platforms"): BOINC-MR clients cache and
+  /// serve the map inputs they download; the scheduler then offers those
+  /// cachers to later replicas as peer sources, taking the second wave of
+  /// input distribution off the data server.
+  bool peer_input_distribution = false;
+  /// Max cacher endpoints attached per input file.
+  int max_input_peers = 3;
+};
+
+/// Parses the `<mr_jobtracker>` document; unknown fields keep defaults.
+/// Throws vcmr::Error on malformed XML.
+ProjectConfig parse_mr_jobtracker(const std::string& xml,
+                                  ProjectConfig base = {});
+
+/// Serializes the MR-relevant fields back to `mr_jobtracker.xml` form.
+std::string mr_jobtracker_xml(const ProjectConfig& cfg);
+
+}  // namespace vcmr::server

@@ -1,0 +1,59 @@
+#pragma once
+// Periodic-daemon helper: BOINC's server side is a set of daemons (feeder,
+// transitioner, validator, assimilator) each polling the database on its
+// own cadence; the gaps between those polls are part of the latency the
+// paper measures (§IV.B: after the last map report "the server has to
+// validate it, create new reduce work units and insert them into the
+// database" while clients back off).
+
+#include <functional>
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace vcmr::server {
+
+class PeriodicDaemon {
+ public:
+  PeriodicDaemon(sim::Simulation& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+  ~PeriodicDaemon() { stop(); }
+
+  PeriodicDaemon(const PeriodicDaemon&) = delete;
+  PeriodicDaemon& operator=(const PeriodicDaemon&) = delete;
+
+  /// Runs `tick` every `period`, first firing after one period.
+  void start(SimTime period, std::function<void()> tick) {
+    stop();
+    period_ = period;
+    tick_ = std::move(tick);
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    if (!running_) return;
+    sim_.cancel(pending_);
+    running_ = false;
+  }
+
+  bool running() const { return running_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void arm() {
+    pending_ = sim_.after(period_, [this] {
+      tick_();
+      if (running_) arm();
+    });
+  }
+
+  sim::Simulation& sim_;
+  std::string name_;
+  SimTime period_;
+  std::function<void()> tick_;
+  sim::EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace vcmr::server

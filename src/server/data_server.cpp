@@ -1,0 +1,106 @@
+#include "server/data_server.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace vcmr::server {
+
+DataServer::DataServer(net::HttpService& http, NodeId node, int port)
+    : http_(http), ep_{node, port} {
+  http_.listen(ep_, [this](const net::HttpRequest& req,
+                           net::HttpRespondFn respond) {
+    if (req.method == "GET" && common::starts_with(req.path, "/download/")) {
+      const std::string name = req.path.substr(10);
+      const auto it = store_.find(name);
+      if (it == store_.end()) {
+        respond(net::HttpResponse::not_found());
+        return;
+      }
+      net::HttpResponse resp;
+      resp.body_size = it->second.size;
+      bytes_served_ += it->second.size;
+      ++downloads_;
+      respond(std::move(resp));
+      return;
+    }
+    if (req.method == "POST" && common::starts_with(req.path, "/upload/")) {
+      // The body flow has already been charged to the network by the time
+      // the handler runs; the payload itself arrives via the pending map
+      // the upload() helper fills in (one process, no real bytes to move).
+      net::HttpResponse resp;
+      resp.body_size = 0;
+      respond(std::move(resp));
+      return;
+    }
+    respond(net::HttpResponse{400, 0, {}});
+  });
+}
+
+DataServer::~DataServer() { http_.stop_listening(ep_); }
+
+void DataServer::stage(const std::string& name, mr::FilePayload payload) {
+  require(!name.empty(), "DataServer::stage: empty file name");
+  store_[name] = std::move(payload);
+}
+
+const mr::FilePayload* DataServer::payload(const std::string& name) const {
+  const auto it = store_.find(name);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+void DataServer::download(NodeId client, const std::string& name,
+                          std::function<void(const mr::FilePayload&)> on_done,
+                          std::function<void(std::string)> on_fail,
+                          net::FlowPriority priority) {
+  net::HttpRequest req;
+  req.method = "GET";
+  req.path = "/download/" + name;
+  http_.request(
+      client, ep_, std::move(req),
+      [this, name, on_done = std::move(on_done),
+       on_fail](const net::HttpResponse& resp) {
+        if (!resp.ok()) {
+          if (on_fail) on_fail("HTTP " + std::to_string(resp.status) +
+                               " for " + name);
+          return;
+        }
+        const mr::FilePayload* p = payload(name);
+        if (!p) {
+          if (on_fail) on_fail("file disappeared mid-download: " + name);
+          return;
+        }
+        if (on_done) on_done(*p);
+      },
+      [name, on_fail](net::NetError err) {
+        if (on_fail) on_fail(std::string(net::to_string(err)) + " for " + name);
+      },
+      priority);
+}
+
+void DataServer::upload(NodeId client, const std::string& name,
+                        mr::FilePayload payload, std::function<void()> on_done,
+                        std::function<void(std::string)> on_fail,
+                        net::FlowPriority priority) {
+  net::HttpRequest req;
+  req.method = "POST";
+  req.path = "/upload/" + name;
+  req.body_size = payload.size;
+  http_.request(
+      client, ep_, std::move(req),
+      [this, name, payload = std::move(payload),
+       on_done = std::move(on_done)](const net::HttpResponse& resp) mutable {
+        if (resp.ok()) {
+          bytes_ingested_ += payload.size;
+          ++uploads_;
+          store_[name] = std::move(payload);
+          if (upload_listener_) upload_listener_(name);
+          if (on_done) on_done();
+        }
+      },
+      [name, on_fail](net::NetError err) {
+        if (on_fail) on_fail(std::string(net::to_string(err)) + " for " + name);
+      },
+      priority);
+}
+
+}  // namespace vcmr::server

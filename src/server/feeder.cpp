@@ -1,0 +1,25 @@
+#include "server/feeder.h"
+
+#include <algorithm>
+
+namespace vcmr::server {
+
+void Feeder::refill() {
+  // Evict entries whose state changed under us (assigned, aborted, ...).
+  std::erase_if(cache_, [this](ResultId id) {
+    return db_.result(id).server_state != db::ServerState::kUnsent;
+  });
+  if (cache_.size() >= capacity()) return;
+  for (const ResultId id : db_.unsent_results()) {
+    if (cache_.size() >= capacity()) break;
+    if (std::find(cache_.begin(), cache_.end(), id) == cache_.end()) {
+      cache_.push_back(id);
+    }
+  }
+}
+
+void Feeder::remove(ResultId id) {
+  cache_.erase(std::remove(cache_.begin(), cache_.end(), id), cache_.end());
+}
+
+}  // namespace vcmr::server

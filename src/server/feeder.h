@@ -1,0 +1,36 @@
+#pragma once
+// Feeder: keeps a bounded cache of ready-to-send results, the analogue of
+// BOINC's shared-memory segment between the feeder daemon and scheduler
+// CGIs (§III.B mentions the feeder creating result instances alongside the
+// transitioner). The scheduler only hands out results present in this
+// cache, so feeder cadence adds dispatch latency exactly as in BOINC.
+
+#include <vector>
+
+#include "db/database.h"
+
+namespace vcmr::server {
+
+class Feeder {
+ public:
+  Feeder(db::Database& db, int cache_size)
+      : db_(db), cache_size_(cache_size) {}
+
+  /// One feeder pass: drop entries that are no longer unsent, then top the
+  /// cache up from the database in result-id order.
+  void refill();
+
+  const std::vector<ResultId>& cache() const { return cache_; }
+
+  /// Scheduler took (or invalidated) an entry.
+  void remove(ResultId id);
+
+  std::size_t capacity() const { return static_cast<std::size_t>(cache_size_); }
+
+ private:
+  db::Database& db_;
+  int cache_size_;
+  std::vector<ResultId> cache_;
+};
+
+}  // namespace vcmr::server

@@ -1,0 +1,350 @@
+#include "server/jobtracker.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "mr/dataset.h"
+#include "server/templates.h"
+
+namespace vcmr::server {
+
+namespace {
+common::Logger log_("jobtracker");
+}
+
+JobTracker::JobTracker(sim::Simulation& sim, db::Database& db,
+                       DataServer& data, const ProjectConfig& cfg)
+    : sim_(sim), db_(db), data_(data), cfg_(cfg) {}
+
+std::string JobTracker::map_input_name(const std::string& job, int map_index) {
+  return job + "_map_" + std::to_string(map_index) + "_input";
+}
+
+std::string JobTracker::map_output_name(const std::string& result_name,
+                                        int partition) {
+  return result_name + ".part" + std::to_string(partition);
+}
+
+std::string JobTracker::reduce_output_name(const std::string& result_name) {
+  return result_name + ".out";
+}
+
+WorkUnitId JobTracker::create_wu_from_template(const std::string& tpl_xml,
+                                               db::MrPhase phase, MrJobId job,
+                                               int index, double flops_est) {
+  // Round-trip through the template parser: exactly what BOINC's staging
+  // scripts ("work units must be manually added ... using specific
+  // scripts", §III.B) do with the on-disk XML.
+  const WuTemplate tpl = WuTemplate::parse(tpl_xml);
+
+  db::WorkUnitRecord wu;
+  wu.name = tpl.wu_name;
+  wu.target_nresults = tpl.target_nresults;
+  wu.min_quorum = tpl.min_quorum;
+  wu.max_error_results = cfg_.max_error_results;
+  wu.max_total_results = cfg_.max_total_results;
+  wu.delay_bound = tpl.delay_bound;
+  wu.mr_phase = phase;
+  wu.mr_job = job;
+  wu.mr_index = index;
+  wu.flops_est = flops_est;
+
+  const db::MrJobRecord& jr = db_.mr_job(job);
+  wu.app = jr.app;
+  for (const auto& f : tpl.input_files) {
+    const auto fid = db_.find_file_by_name(f.name);
+    require(fid.has_value(), "wu template references unstaged file");
+    wu.input_files.push_back(*fid);
+  }
+  return db_.create_workunit(wu).id;
+}
+
+MrJobId JobTracker::submit(const MrJobSpec& spec) {
+  mr::register_builtin_apps();
+  const mr::MapReduceApp* app = mr::AppRegistry::instance().find(spec.app);
+  require(app != nullptr, "JobTracker::submit: unknown app");
+  require(spec.input_text.has_value() || spec.input_size > 0,
+          "JobTracker::submit: job needs input text or a modelled size");
+
+  const int n_maps = spec.n_maps > 0 ? spec.n_maps : cfg_.default_n_maps;
+  const int n_reducers =
+      spec.n_reducers > 0 ? spec.n_reducers : cfg_.default_n_reducers;
+
+  db::MrJobRecord proto;
+  proto.name = spec.name;
+  proto.n_maps = n_maps;
+  proto.n_reducers = n_reducers;
+  proto.created = sim_.now();
+  db::AppRecord& app_rec = db_.create_app(spec.app);
+  proto.app = app_rec.id;
+  db::MrJobRecord& job = db_.create_mr_job(proto);
+
+  JobRuntime& rt = runtime_[job.id];
+  rt.cost = app->cost();
+
+  // Stage input chunks on the data server and register them in the db.
+  std::vector<mr::FilePayload> chunks;
+  if (spec.shared_input) {
+    // One file, referenced by every map WU (parameter sweep).
+    mr::FilePayload whole;
+    if (spec.input_text) {
+      whole = mr::FilePayload::of_content("#chunk 0\n" + *spec.input_text);
+    } else {
+      whole = mr::FilePayload::of_size(
+          spec.input_size,
+          common::Hasher{}.update(spec.name).update_u64(0).digest());
+    }
+    rt.input_size = whole.size;
+    chunks.assign(static_cast<std::size_t>(n_maps), whole);
+
+    const std::string fname = spec.name + "_shared_input";
+    db::FileRecord frec;
+    frec.name = fname;
+    frec.size = whole.size;
+    frec.digest = whole.digest;
+    frec.on_server = true;
+    db_.create_file(frec);
+    data_.stage(fname, whole);
+
+    for (int i = 0; i < n_maps; ++i) {
+      WuTemplate tpl;
+      tpl.wu_name = spec.name + "_map_" + std::to_string(i);
+      tpl.app_name = spec.app;
+      tpl.input_files.push_back({fname, whole.size});
+      tpl.target_nresults = cfg_.target_nresults;
+      tpl.min_quorum = cfg_.min_quorum;
+      tpl.delay_bound = cfg_.delay_bound;
+      tpl.job_name = spec.name;
+      tpl.phase = 1;
+      tpl.index = i;
+      tpl.n_maps = n_maps;
+      tpl.n_reducers = n_reducers;
+      const double flops =
+          rt.cost.map_flops_per_byte * static_cast<double>(whole.size);
+      create_wu_from_template(tpl.render(), db::MrPhase::kMap, job.id, i,
+                              flops);
+    }
+    log_.info("submitted sweep job '", spec.name, "': ", n_maps,
+              " maps over one shared ", whole.size, "-byte input");
+    return job.id;
+  }
+  if (spec.input_text) {
+    for (auto& text : mr::split_text(*spec.input_text, n_maps)) {
+      chunks.push_back(mr::FilePayload::of_content(std::move(text)));
+    }
+    rt.input_size = static_cast<Bytes>(spec.input_text->size());
+  } else {
+    for (const Bytes size : mr::split_sizes(spec.input_size, n_maps)) {
+      // Deterministic digest: modelled inputs have no bytes to hash.
+      chunks.push_back(mr::FilePayload::of_size(
+          size, common::Hasher{}.update(spec.name).update_u64(
+                    static_cast<std::uint64_t>(chunks.size())).digest()));
+    }
+    rt.input_size = spec.input_size;
+  }
+
+  for (int i = 0; i < n_maps; ++i) {
+    const std::string fname = map_input_name(spec.name, i);
+    const mr::FilePayload& chunk = chunks[static_cast<std::size_t>(i)];
+    db::FileRecord frec;
+    frec.name = fname;
+    frec.size = chunk.size;
+    frec.digest = chunk.digest;
+    frec.on_server = true;
+    db_.create_file(frec);
+    data_.stage(fname, chunk);
+
+    WuTemplate tpl;
+    tpl.wu_name = spec.name + "_map_" + std::to_string(i);
+    tpl.app_name = spec.app;
+    tpl.input_files.push_back({fname, chunk.size});
+    tpl.target_nresults = cfg_.target_nresults;
+    tpl.min_quorum = cfg_.min_quorum;
+    tpl.delay_bound = cfg_.delay_bound;
+    tpl.job_name = spec.name;
+    tpl.phase = 1;
+    tpl.index = i;
+    tpl.n_maps = n_maps;
+    tpl.n_reducers = n_reducers;
+    const double flops =
+        rt.cost.map_flops_per_byte * static_cast<double>(chunk.size);
+    create_wu_from_template(tpl.render(), db::MrPhase::kMap, job.id, i, flops);
+  }
+
+  log_.info("submitted job '", spec.name, "': ", n_maps, " maps, ", n_reducers,
+            " reducers, input ", rt.input_size, " bytes");
+  return job.id;
+}
+
+void JobTracker::create_reduce_wus(db::MrJobRecord& job) {
+  JobRuntime& rt = runtime_.at(job.id);
+  if (rt.reduce_created) return;
+  rt.reduce_created = true;
+
+  // Expected reduce input: the whole intermediate volume over R partitions.
+  const double inter_bytes =
+      static_cast<double>(rt.input_size) * rt.cost.map_output_ratio;
+  const double flops =
+      rt.cost.reduce_flops_per_byte * inter_bytes / job.n_reducers;
+
+  for (int r = 0; r < job.n_reducers; ++r) {
+    WuTemplate tpl;
+    tpl.wu_name = job.name + "_reduce_" + std::to_string(r);
+    tpl.app_name = db_.app(job.app).name;
+    tpl.target_nresults = cfg_.target_nresults;
+    tpl.min_quorum = cfg_.min_quorum;
+    tpl.delay_bound = cfg_.delay_bound;
+    tpl.job_name = job.name;
+    tpl.phase = 2;
+    tpl.index = r;
+    tpl.n_maps = job.n_maps;
+    tpl.n_reducers = job.n_reducers;
+    create_wu_from_template(tpl.render(), db::MrPhase::kReduce, job.id, r,
+                            flops);
+  }
+  log_.info("job '", job.name, "': created ", job.n_reducers,
+            " reduce work units");
+}
+
+void JobTracker::wu_validated(WorkUnitId wid) {
+  const db::WorkUnitRecord& wu = db_.workunit(wid);
+  if (wu.mr_phase != db::MrPhase::kMap) return;
+  db::MrJobRecord& job = db_.mr_job(wu.mr_job);
+  JobRuntime& rt = runtime_.at(job.id);
+
+  // Register the canonical replica's outputs as fetchable locations.
+  const db::ResultRecord& canonical = db_.result(wu.canonical_result);
+  const db::HostRecord& holder = db_.host(canonical.host);
+  for (const FileId fid : canonical.output_files) {
+    const db::FileRecord& f = db_.file(fid);
+    db::MapOutputLocation loc;
+    loc.map_index = wu.mr_index;
+    loc.reduce_partition = f.reduce_partition;
+    loc.file = fid;
+    loc.holder = holder.id;
+    loc.endpoint = holder.mr_endpoint;
+    loc.mirrored_on_server = f.on_server;
+    job.map_outputs.push_back(loc);
+  }
+
+  ++rt.maps_validated;
+  if (cfg_.pipelined_reduce && !rt.reduce_created) {
+    create_reduce_wus(job);  // eager creation, mitigation E5
+  }
+  if (rt.maps_validated == job.n_maps) {
+    job.map_done = sim_.now();
+    job.state = db::MrJobState::kReducePhase;
+    create_reduce_wus(job);
+    log_.info("job '", job.name, "': map phase complete at ",
+              job.map_done.str());
+  }
+}
+
+void JobTracker::wu_assimilated(WorkUnitId wid) {
+  const db::WorkUnitRecord& wu = db_.workunit(wid);
+  if (wu.mr_phase != db::MrPhase::kReduce) return;
+  db::MrJobRecord& job = db_.mr_job(wu.mr_job);
+  JobRuntime& rt = runtime_.at(job.id);
+  ++rt.reduces_assimilated;
+  if (rt.reduces_assimilated == job.n_reducers &&
+      job.state != db::MrJobState::kFailed) {
+    job.state = db::MrJobState::kDone;
+    job.finished = sim_.now();
+    log_.info("job '", job.name, "' finished at ", job.finished.str());
+    if (on_finished_) on_finished_(job.id);
+  }
+}
+
+void JobTracker::wu_errored(WorkUnitId wid) {
+  const db::WorkUnitRecord& wu = db_.workunit(wid);
+  if (wu.mr_phase == db::MrPhase::kNone) return;
+  db::MrJobRecord& job = db_.mr_job(wu.mr_job);
+  if (job.state == db::MrJobState::kFailed) return;
+  job.state = db::MrJobState::kFailed;
+  job.finished = sim_.now();
+  log_.warn("job '", job.name, "' failed: work unit ", wu.name,
+            " exceeded its error limit");
+  if (on_finished_) on_finished_(job.id);
+}
+
+std::vector<proto::PeerLocation> JobTracker::locations_for(MrJobId jid,
+                                                           int r) const {
+  std::vector<proto::PeerLocation> out;
+  const db::MrJobRecord& job = db_.mr_job(jid);
+  for (const auto& loc : job.map_outputs) {
+    if (loc.reduce_partition != r) continue;
+    const db::FileRecord& f = db_.file(loc.file);
+    proto::PeerLocation p;
+    p.map_index = loc.map_index;
+    p.file_name = f.name;
+    p.size = f.size;
+    p.holder_host = loc.holder.value();
+    p.endpoint = loc.endpoint;
+    p.on_server = loc.mirrored_on_server;
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const proto::PeerLocation& a, const proto::PeerLocation& b) {
+              return a.map_index < b.map_index;
+            });
+  return out;
+}
+
+bool JobTracker::locations_complete(MrJobId jid) const {
+  const auto it = runtime_.find(jid);
+  return it != runtime_.end() &&
+         it->second.maps_validated == db_.mr_job(jid).n_maps;
+}
+
+void JobTracker::note_assignment(MrJobId jid, db::MrPhase phase, SimTime now) {
+  db::MrJobRecord& job = db_.mr_job(jid);
+  if (phase == db::MrPhase::kMap && now < job.map_first_sent) {
+    job.map_first_sent = now;
+  } else if (phase == db::MrPhase::kReduce && now < job.reduce_first_sent) {
+    job.reduce_first_sent = now;
+  }
+}
+
+bool JobTracker::host_outputs_needed(HostId host) const {
+  bool needed = false;
+  db_.for_each_mr_job([&](const db::MrJobRecord& job) {
+    if (needed) return;
+    if (job.state == db::MrJobState::kDone ||
+        job.state == db::MrJobState::kFailed) {
+      return;
+    }
+    for (const auto& loc : job.map_outputs) {
+      if (loc.holder == host) {
+        needed = true;
+        return;
+      }
+    }
+  });
+  return needed;
+}
+
+bool JobTracker::job_done(MrJobId jid) const {
+  return db_.mr_job(jid).state == db::MrJobState::kDone;
+}
+
+bool JobTracker::job_failed(MrJobId jid) const {
+  return db_.mr_job(jid).state == db::MrJobState::kFailed;
+}
+
+std::vector<std::string> JobTracker::output_file_names(MrJobId jid) const {
+  std::vector<std::string> out;
+  for (const WorkUnitId wid :
+       db_.workunits_of_job(jid, db::MrPhase::kReduce)) {
+    const db::WorkUnitRecord& wu = db_.workunit(wid);
+    if (!wu.canonical_found) continue;
+    const db::ResultRecord& canonical = db_.result(wu.canonical_result);
+    for (const FileId fid : canonical.output_files) {
+      out.push_back(db_.file(fid).name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vcmr::server

@@ -1,0 +1,105 @@
+#pragma once
+// JobTracker: the BOINC-MR server module (§III.B).
+//
+// "JobTracker, a new module on the server, provides information on map or
+// reduce tasks to be given to the client." It owns the MapReduce job
+// lifecycle on the server side: staging map inputs and work units at
+// submission, recording which host holds which validated map output,
+// creating reduce work units once the map phase validates (or eagerly in
+// pipelined mode, mitigation E5), and answering the scheduler's location
+// queries so reduce results carry mapper addresses.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "mr/app.h"
+#include "proto/messages.h"
+#include "server/config.h"
+#include "server/data_server.h"
+#include "sim/simulation.h"
+
+namespace vcmr::server {
+
+struct MrJobSpec {
+  std::string name;
+  std::string app = "word_count";
+  int n_maps = 0;      ///< 0 → ProjectConfig::default_n_maps
+  int n_reducers = 0;  ///< 0 → ProjectConfig::default_n_reducers
+  /// Modelled mode: total input bytes (the paper's fixed 1 GB file).
+  Bytes input_size = 0;
+  /// Materialised mode: real corpus text (overrides input_size).
+  std::optional<std::string> input_text;
+  /// Parameter-sweep mode (§II's ClimatePrediction/MilkyWay shape): every
+  /// map work unit reads the SAME input file instead of its own chunk —
+  /// the workload where shared-input distribution (E15) matters.
+  bool shared_input = false;
+};
+
+class JobTracker {
+ public:
+  JobTracker(sim::Simulation& sim, db::Database& db, DataServer& data,
+             const ProjectConfig& cfg);
+
+  /// Stages inputs and creates the map work units. Throws on unknown app.
+  MrJobId submit(const MrJobSpec& spec);
+
+  // --- hooks wired by Project ------------------------------------------------
+  void wu_validated(WorkUnitId wu);
+  void wu_assimilated(WorkUnitId wu);
+  void wu_errored(WorkUnitId wu);
+
+  // --- scheduler queries -------------------------------------------------------
+  /// Validated map outputs feeding reduce partition `r`, map-index order.
+  std::vector<proto::PeerLocation> locations_for(MrJobId job, int r) const;
+  /// True once every map work unit of the job has validated.
+  bool locations_complete(MrJobId job) const;
+  /// Records first map/reduce assignment instants (phase timing).
+  void note_assignment(MrJobId job, db::MrPhase phase, SimTime now);
+  /// True while any unfinished job still needs map outputs this host holds
+  /// (§III.C serve-timeout reset).
+  bool host_outputs_needed(HostId host) const;
+
+  // --- job status -----------------------------------------------------------------
+  bool job_done(MrJobId job) const;
+  bool job_failed(MrJobId job) const;
+  const db::MrJobRecord& job(MrJobId job) const { return db_.mr_job(job); }
+  /// Names of the canonical reduce output files (on the data server).
+  std::vector<std::string> output_file_names(MrJobId job) const;
+
+  void set_job_finished_listener(std::function<void(MrJobId)> fn) {
+    on_finished_ = std::move(fn);
+  }
+
+  // --- canonical file naming (shared with clients) -----------------------------------
+  static std::string map_input_name(const std::string& job, int map_index);
+  static std::string map_output_name(const std::string& result_name,
+                                     int partition);
+  static std::string reduce_output_name(const std::string& result_name);
+
+ private:
+  void create_reduce_wus(db::MrJobRecord& job);
+  WorkUnitId create_wu_from_template(const std::string& tpl_xml,
+                                     db::MrPhase phase, MrJobId job,
+                                     int index, double flops_est);
+
+  sim::Simulation& sim_;
+  db::Database& db_;
+  DataServer& data_;
+  const ProjectConfig& cfg_;
+
+  struct JobRuntime {
+    int maps_validated = 0;
+    int reduces_assimilated = 0;
+    bool reduce_created = false;
+    Bytes input_size = 0;
+    mr::CostModel cost;
+  };
+  std::map<MrJobId, JobRuntime> runtime_;
+  std::function<void(MrJobId)> on_finished_;
+};
+
+}  // namespace vcmr::server

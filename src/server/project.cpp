@@ -1,0 +1,47 @@
+#include "server/project.h"
+
+namespace vcmr::server {
+
+Project::Project(sim::Simulation& sim, net::HttpService& http,
+                 NodeId server_node, ProjectConfig cfg)
+    : sim_(sim),
+      node_(server_node),
+      cfg_(cfg),
+      data_(http, server_node, kDataPort),
+      feeder_(db_, cfg_.feeder_cache_size),
+      transitioner_(db_, cfg_),
+      validator_(db_, cfg_),
+      assimilator_(db_),
+      jobtracker_(sim, db_, data_, cfg_),
+      scheduler_(sim, db_, feeder_, jobtracker_, cfg_, http,
+                 net::Endpoint{server_node, kSchedulerPort}),
+      feeder_daemon_(sim, "feeder"),
+      transitioner_daemon_(sim, "transitioner"),
+      validator_daemon_(sim, "validator"),
+      assimilator_daemon_(sim, "assimilator") {
+  validator_.set_validated_listener(
+      [this](WorkUnitId wu) { jobtracker_.wu_validated(wu); });
+  assimilator_.set_assimilated_listener(
+      [this](WorkUnitId wu) { jobtracker_.wu_assimilated(wu); });
+  transitioner_.set_error_listener(
+      [this](WorkUnitId wu) { jobtracker_.wu_errored(wu); });
+}
+
+void Project::start() {
+  feeder_daemon_.start(cfg_.feeder_period, [this] { feeder_.refill(); });
+  transitioner_daemon_.start(cfg_.transitioner_period,
+                             [this] { transitioner_.pass(sim_.now()); });
+  validator_daemon_.start(cfg_.validator_period,
+                          [this] { validator_.pass(sim_.now()); });
+  assimilator_daemon_.start(cfg_.assimilator_period,
+                            [this] { assimilator_.pass(); });
+}
+
+void Project::stop() {
+  feeder_daemon_.stop();
+  transitioner_daemon_.stop();
+  validator_daemon_.stop();
+  assimilator_daemon_.stop();
+}
+
+}  // namespace vcmr::server

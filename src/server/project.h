@@ -1,0 +1,73 @@
+#pragma once
+// Project: the assembled BOINC-MR server.
+//
+// Owns the database, data server, scheduler, JobTracker, and the daemon
+// quartet (feeder / transitioner / validator / assimilator), wires their
+// callbacks together, and runs them on their configured cadences — one
+// object standing in for a whole BOINC project deployment.
+
+#include <memory>
+
+#include "db/database.h"
+#include "net/http.h"
+#include "server/assimilator.h"
+#include "server/config.h"
+#include "server/daemon.h"
+#include "server/data_server.h"
+#include "server/feeder.h"
+#include "server/jobtracker.h"
+#include "server/scheduler.h"
+#include "server/transitioner.h"
+#include "server/validator.h"
+#include "sim/simulation.h"
+
+namespace vcmr::server {
+
+class Project {
+ public:
+  static constexpr int kDataPort = 80;
+  static constexpr int kSchedulerPort = 8080;
+
+  Project(sim::Simulation& sim, net::HttpService& http, NodeId server_node,
+          ProjectConfig cfg = {});
+
+  /// Starts the daemons. Call once, before running the simulation.
+  void start();
+  void stop();
+
+  MrJobId submit_job(const MrJobSpec& spec) { return jobtracker_.submit(spec); }
+
+  // --- component access -----------------------------------------------------
+  db::Database& database() { return db_; }
+  const db::Database& database() const { return db_; }
+  DataServer& data_server() { return data_; }
+  JobTracker& jobtracker() { return jobtracker_; }
+  Scheduler& scheduler() { return scheduler_; }
+  const ProjectConfig& config() const { return cfg_; }
+  NodeId node() const { return node_; }
+  net::Endpoint scheduler_endpoint() const { return scheduler_.endpoint(); }
+
+  const TransitionerStats& transitioner_stats() const {
+    return transitioner_.stats();
+  }
+  const ValidatorStats& validator_stats() const { return validator_.stats(); }
+
+ private:
+  sim::Simulation& sim_;
+  NodeId node_;
+  ProjectConfig cfg_;
+  db::Database db_;
+  DataServer data_;
+  Feeder feeder_;
+  Transitioner transitioner_;
+  Validator validator_;
+  Assimilator assimilator_;
+  JobTracker jobtracker_;
+  Scheduler scheduler_;
+  PeriodicDaemon feeder_daemon_;
+  PeriodicDaemon transitioner_daemon_;
+  PeriodicDaemon validator_daemon_;
+  PeriodicDaemon assimilator_daemon_;
+};
+
+}  // namespace vcmr::server

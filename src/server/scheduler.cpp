@@ -1,0 +1,332 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace vcmr::server {
+
+namespace {
+common::Logger log_("scheduler");
+}
+
+Scheduler::Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
+                     JobTracker& jobtracker, const ProjectConfig& cfg,
+                     net::HttpService& http, net::Endpoint ep)
+    : sim_(sim),
+      db_(db),
+      feeder_(feeder),
+      jobtracker_(jobtracker),
+      cfg_(cfg),
+      http_(http),
+      ep_(ep) {
+  http_.listen(ep_, [this](const net::HttpRequest& req,
+                           net::HttpRespondFn respond) {
+    // Parse off the wire, then model the CGI's processing time before the
+    // reply is produced.
+    proto::SchedulerRequest parsed = proto::request_from_xml(req.body);
+    sim_.after(cfg_.rpc_service_time,
+               [this, parsed = std::move(parsed),
+                respond = std::move(respond)] {
+                 const proto::SchedulerReply reply = process(parsed);
+                 net::HttpResponse resp;
+                 resp.body = proto::to_xml(reply);
+                 resp.body_size = static_cast<Bytes>(resp.body.size());
+                 respond(std::move(resp));
+               });
+  });
+}
+
+Scheduler::~Scheduler() { http_.stop_listening(ep_); }
+
+proto::SchedulerReply Scheduler::process(const proto::SchedulerRequest& req) {
+  ++stats_.rpcs;
+  const HostId host{req.host_id};
+
+  if (cfg_.peer_input_distribution) note_cached_files(host, req.cached_files);
+  for (const auto& rep : req.reports) handle_report(host, rep);
+
+  proto::SchedulerReply reply;
+  reply.request_delay = cfg_.min_request_delay;
+  reply.report_map_results_immediately = cfg_.report_map_results_immediately;
+  reply.keep_serving = req.mr_capable && host_may_be_needed(host);
+  reply.had_work = true;  // only meaningful when work was requested
+
+  if (req.work_request_seconds > 0) {
+    assign_work(req, reply);
+    reply.had_work = !reply.tasks.empty();
+    if (!reply.had_work) ++stats_.empty_replies;
+  }
+
+  // Pipelined reduce (E5): stream newly validated mapper locations to
+  // reducers that are still collecting inputs.
+  if (cfg_.pipelined_reduce) {
+    for (const ResultId rid : db_.in_progress_on_host(host)) {
+      const db::ResultRecord& r = db_.result(rid);
+      const db::WorkUnitRecord& wu = db_.workunit(r.wu);
+      if (wu.mr_phase != db::MrPhase::kReduce) continue;
+      proto::LocationUpdate upd;
+      upd.result_id = rid.value();
+      upd.peers = jobtracker_.locations_for(wu.mr_job, wu.mr_index);
+      upd.complete = jobtracker_.locations_complete(wu.mr_job);
+      reply.location_updates.push_back(std::move(upd));
+    }
+  }
+  return reply;
+}
+
+bool Scheduler::host_may_be_needed(HostId host) const {
+  // Registered as a canonical holder of some unfinished job's map outputs?
+  if (jobtracker_.host_outputs_needed(host)) return true;
+  // Or holding map results that have not been through validation yet — the
+  // host cannot know whether it will become the canonical replica, so it
+  // must keep serving (§III.C: withdraw only once the job has finished or
+  // the serve timeout expires).
+  bool maybe = false;
+  db_.for_each_result([&](const db::ResultRecord& r) {
+    if (maybe || r.host != host) return;
+    const db::WorkUnitRecord& wu = db_.workunit(r.wu);
+    if (wu.mr_phase != db::MrPhase::kMap) return;
+    const db::MrJobRecord& job = db_.mr_job(wu.mr_job);
+    if (job.state == db::MrJobState::kDone ||
+        job.state == db::MrJobState::kFailed) {
+      return;
+    }
+    if (r.server_state == db::ServerState::kInProgress) {
+      maybe = true;
+    } else if (r.server_state == db::ServerState::kOver &&
+               r.outcome == db::Outcome::kSuccess &&
+               (r.validate_state == db::ValidateState::kInit ||
+                r.validate_state == db::ValidateState::kInconclusive)) {
+      maybe = true;
+    }
+  });
+  return maybe;
+}
+
+void Scheduler::note_cached_files(HostId host,
+                                  const std::vector<std::string>& files) {
+  for (const auto& name : files) {
+    // Only project inputs are cacheable this way; map outputs travel via
+    // the JobTracker's location registry.
+    if (!db_.find_file_by_name(name)) continue;
+    auto& cachers = input_cachers_[name];
+    if (std::find(cachers.begin(), cachers.end(), host) == cachers.end()) {
+      cachers.push_back(host);
+    }
+  }
+}
+
+void Scheduler::handle_report(HostId host, const proto::ReportedResult& rep) {
+  ++stats_.reports;
+  const ResultId rid{rep.result_id};
+  db::ResultRecord* r = nullptr;
+  try {
+    r = &db_.result(rid);
+  } catch (const Error&) {
+    ++stats_.late_reports;
+    return;
+  }
+  if (r->server_state != db::ServerState::kInProgress || r->host != host) {
+    // Late, duplicate, or post-timeout report: BOINC marks these "too
+    // late"; the work was already rescheduled elsewhere.
+    ++stats_.late_reports;
+    return;
+  }
+
+  r->server_state = db::ServerState::kOver;
+  r->outcome = rep.success ? db::Outcome::kSuccess : db::Outcome::kClientError;
+  r->received_time = sim_.now();
+  r->output_digest = rep.digest;
+  r->output_bytes = rep.output_bytes;
+  r->claimed_credit = rep.claimed_credit;
+
+  for (const auto& f : rep.outputs) {
+    // Output names embed the result name, so they are unique per replica.
+    if (db_.find_file_by_name(f.name)) continue;
+    db::FileRecord frec;
+    frec.name = f.name;
+    frec.size = f.size;
+    frec.digest = f.digest;
+    frec.on_server = f.uploaded;
+    frec.on_host = host;
+    frec.reduce_partition = f.reduce_partition;
+    r->output_files.push_back(db_.create_file(frec).id);
+  }
+
+  db_.flag_transition(r->wu);
+  log_.debug("host ", host.value(), " reported ", r->name,
+             rep.success ? " (success)" : " (error)");
+}
+
+void Scheduler::assign_work(const proto::SchedulerRequest& req,
+                            proto::SchedulerReply& reply) {
+  const HostId host{req.host_id};
+  const db::HostRecord& hrec = db_.host(host);
+  double filled_seconds = 0;
+  int host_in_progress =
+      static_cast<int>(db_.in_progress_on_host(host).size());
+
+  // Snapshot: assignment mutates the cache through feeder_.remove().
+  const std::vector<ResultId> cache = feeder_.cache();
+  for (const ResultId rid : cache) {
+    if (static_cast<int>(reply.tasks.size()) >= cfg_.max_results_per_rpc) break;
+    if (filled_seconds >= req.work_request_seconds) break;
+    if (host_in_progress >= cfg_.max_wus_in_progress) break;
+
+    db::ResultRecord& r = db_.result(rid);
+    if (r.server_state != db::ServerState::kUnsent) {
+      feeder_.remove(rid);
+      continue;
+    }
+    db::WorkUnitRecord& wu = db_.workunit(r.wu);
+    if (wu.error_mass || wu.canonical_found) continue;
+
+    if (cfg_.one_result_per_host_per_wu) {
+      bool host_has_sibling = false;
+      for (const ResultId sid : db_.results_of(wu.id)) {
+        const db::ResultRecord& s = db_.result(sid);
+        if (s.host == host && s.server_state != db::ServerState::kUnsent &&
+            s.server_state != db::ServerState::kInactive) {
+          host_has_sibling = true;
+          break;
+        }
+      }
+      if (host_has_sibling) continue;
+    }
+
+    if (wu.mr_phase == db::MrPhase::kReduce && !req.mr_capable &&
+        !cfg_.mirror_map_outputs) {
+      // A plain BOINC client cannot fetch inter-client data; without
+      // server mirroring it cannot run reduce tasks at all (§III.B).
+      continue;
+    }
+
+    if (cfg_.deadline_check) {
+      // Estimated turnaround on this host: its queued work plus this task.
+      const double est_seconds = req.remaining_work_seconds +
+                                 filled_seconds +
+                                 wu.flops_est / hrec.flops;
+      if (est_seconds > wu.delay_bound.as_seconds()) continue;
+    }
+
+    if (cfg_.locality_aware_reduce && wu.mr_phase == db::MrPhase::kReduce) {
+      // Delay scheduling with a best-holder criterion: every mapper holds
+      // one file of each partition, so "holds anything" is vacuous. Hold
+      // the result (up to locality_max_skips deferrals) for a requester
+      // that stores at least as much of this partition as any other host.
+      std::map<std::int64_t, Bytes> held;
+      for (const auto& loc :
+           jobtracker_.locations_for(wu.mr_job, wu.mr_index)) {
+        held[loc.holder_host] += loc.size;
+      }
+      Bytes best = 0;
+      for (const auto& [h, bytes] : held) best = std::max(best, bytes);
+      const auto mine = held.find(host.value());
+      const Bytes my_bytes = mine == held.end() ? 0 : mine->second;
+      if (best > 0 && my_bytes >= best) {
+        ++stats_.locality_hits;
+      } else if (locality_skips_[rid] < cfg_.locality_max_skips) {
+        ++locality_skips_[rid];
+        ++stats_.locality_skips;
+        continue;
+      }
+    }
+
+    // Assign.
+    r.server_state = db::ServerState::kInProgress;
+    r.host = host;
+    r.sent_time = sim_.now();
+    r.report_deadline = sim_.now() + wu.delay_bound;
+    feeder_.remove(rid);
+    ++stats_.results_dispatched;
+    ++host_in_progress;
+
+    if (wu.mr_phase != db::MrPhase::kNone) {
+      jobtracker_.note_assignment(wu.mr_job, wu.mr_phase, sim_.now());
+    }
+    reply.tasks.push_back(build_task(r, wu));
+    filled_seconds += wu.flops_est / hrec.flops;
+  }
+}
+
+proto::AssignedTask Scheduler::build_task(const db::ResultRecord& r,
+                                          const db::WorkUnitRecord& wu) {
+  proto::AssignedTask t;
+  t.result_id = r.id.value();
+  t.result_name = r.name;
+  t.wu_name = wu.name;
+  t.app = db_.app(wu.app).name;
+  t.flops_estimate = wu.flops_est;
+  t.report_deadline = r.report_deadline;
+
+  switch (wu.mr_phase) {
+    case db::MrPhase::kNone:
+      t.phase = proto::TaskPhase::kPlain;
+      break;
+    case db::MrPhase::kMap:
+      t.phase = proto::TaskPhase::kMap;
+      break;
+    case db::MrPhase::kReduce:
+      t.phase = proto::TaskPhase::kReduce;
+      break;
+  }
+
+  if (wu.mr_phase != db::MrPhase::kNone) {
+    const db::MrJobRecord& job = db_.mr_job(wu.mr_job);
+    t.job_id = job.id.value();
+    t.mr_index = wu.mr_index;
+    t.n_maps = job.n_maps;
+    t.n_reducers = job.n_reducers;
+  }
+
+  if (wu.mr_phase == db::MrPhase::kReduce) {
+    // Reduce inputs are wherever the JobTracker says the canonical map
+    // outputs live right now.
+    for (auto& loc : jobtracker_.locations_for(wu.mr_job, wu.mr_index)) {
+      proto::InputFileSpec in;
+      in.name = loc.file_name;
+      in.size = loc.size;
+      in.on_server = loc.on_server;
+      in.peers.push_back(std::move(loc));
+      t.inputs.push_back(std::move(in));
+    }
+    t.inputs_complete = jobtracker_.locations_complete(wu.mr_job);
+  } else {
+    for (const FileId fid : wu.input_files) {
+      const db::FileRecord& f = db_.file(fid);
+      proto::InputFileSpec in;
+      in.name = f.name;
+      in.size = f.size;
+      in.on_server = f.on_server;
+      if (cfg_.peer_input_distribution) {
+        // Offer known cachers as alternative sources (E15); the data
+        // server remains the fallback, so this can only help.
+        const auto it = input_cachers_.find(f.name);
+        if (it != input_cachers_.end()) {
+          int attached = 0;
+          for (const HostId cacher : it->second) {
+            if (cacher == r.host) continue;  // don't point a host at itself
+            if (attached >= cfg_.max_input_peers) break;
+            const db::HostRecord& ch = db_.host(cacher);
+            proto::PeerLocation p;
+            p.map_index = wu.mr_index;
+            p.file_name = f.name;
+            p.size = f.size;
+            p.holder_host = cacher.value();
+            p.endpoint = ch.mr_endpoint;
+            p.on_server = f.on_server;
+            in.peers.push_back(std::move(p));
+            ++attached;
+            ++stats_.input_peers_attached;
+          }
+        }
+      }
+      t.inputs.push_back(std::move(in));
+    }
+  }
+  return t;
+}
+
+}  // namespace vcmr::server

@@ -1,0 +1,74 @@
+#pragma once
+// Scheduler: the server end of the pull-model RPC.
+//
+// Everything is client-initiated (§III.A): clients POST a scheduler request
+// reporting finished results and asking for work; the scheduler records
+// reports, picks feedable results for the host (honouring the
+// one-result-per-host-per-WU rule that keeps quorums honest), and for
+// reduce results "uses JobTracker to identify which clients have finished
+// map tasks for this job" and appends their addresses (§III.B, Fig. 3).
+
+#include <functional>
+#include <map>
+
+#include "db/database.h"
+#include "net/http.h"
+#include "proto/messages.h"
+#include "server/config.h"
+#include "server/feeder.h"
+#include "server/jobtracker.h"
+#include "sim/simulation.h"
+
+namespace vcmr::server {
+
+struct SchedulerStats {
+  std::int64_t rpcs = 0;
+  std::int64_t reports = 0;
+  std::int64_t results_dispatched = 0;
+  std::int64_t empty_replies = 0;  ///< work requested, none available
+  std::int64_t late_reports = 0;   ///< report for a non-in-progress result
+  std::int64_t locality_hits = 0;  ///< reduce results placed on data holders
+  std::int64_t locality_skips = 0; ///< deferrals waiting for a holder
+  std::int64_t input_peers_attached = 0;  ///< cacher endpoints handed out
+};
+
+class Scheduler {
+ public:
+  Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
+            JobTracker& jobtracker, const ProjectConfig& cfg,
+            net::HttpService& http, net::Endpoint ep);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  net::Endpoint endpoint() const { return ep_; }
+  const SchedulerStats& stats() const { return stats_; }
+
+  /// Handles one request synchronously (testing hook; the HTTP path adds
+  /// the RPC service delay around this).
+  proto::SchedulerReply process(const proto::SchedulerRequest& req);
+
+ private:
+  void handle_report(HostId host, const proto::ReportedResult& rep);
+  void assign_work(const proto::SchedulerRequest& req,
+                   proto::SchedulerReply& reply);
+  proto::AssignedTask build_task(const db::ResultRecord& r,
+                                 const db::WorkUnitRecord& wu);
+  void note_cached_files(HostId host, const std::vector<std::string>& files);
+  bool host_may_be_needed(HostId host) const;
+
+  sim::Simulation& sim_;
+  db::Database& db_;
+  Feeder& feeder_;
+  JobTracker& jobtracker_;
+  const ProjectConfig& cfg_;
+  net::HttpService& http_;
+  net::Endpoint ep_;
+  SchedulerStats stats_;
+  std::map<ResultId, int> locality_skips_;  ///< delay-scheduling counters
+  /// Peer-assisted input distribution: file name -> hosts serving it.
+  std::map<std::string, std::vector<HostId>> input_cachers_;
+};
+
+}  // namespace vcmr::server

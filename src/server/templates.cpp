@@ -1,0 +1,67 @@
+#include "server/templates.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/xml.h"
+
+namespace vcmr::server {
+
+std::string WuTemplate::render() const {
+  common::XmlNode root("workunit");
+  root.add_child_text("name", wu_name);
+  root.add_child_text("app_name", app_name);
+  for (const auto& f : input_files) {
+    common::XmlNode& fi = root.add_child("file_info");
+    fi.add_child_text("name", f.name);
+    fi.add_child_text("nbytes", std::to_string(f.size));
+  }
+  root.add_child_text("target_nresults", std::to_string(target_nresults));
+  root.add_child_text("min_quorum", std::to_string(min_quorum));
+  root.add_child_text("delay_bound",
+                      common::strprintf("%.6f", delay_bound.as_seconds()));
+  if (!job_name.empty()) {
+    common::XmlNode& mr = root.add_child("mapreduce");
+    mr.add_child_text("job", job_name);
+    mr.add_child_text("phase", phase == 1 ? "map" : "reduce");
+    mr.add_child_text("index", std::to_string(index));
+    mr.add_child_text("n_maps", std::to_string(n_maps));
+    mr.add_child_text("n_reducers", std::to_string(n_reducers));
+  }
+  return root.to_string();
+}
+
+WuTemplate WuTemplate::parse(const std::string& xml) {
+  const auto root = common::xml_parse(xml);
+  require(root->name() == "workunit",
+          "wu template: root element must be <workunit>");
+  WuTemplate t;
+  t.wu_name = root->child_text("name");
+  t.app_name = root->child_text("app_name");
+  require(!t.wu_name.empty(), "wu template: missing <name>");
+  require(!t.app_name.empty(), "wu template: missing <app_name>");
+  for (const common::XmlNode* fi : root->children("file_info")) {
+    TemplateFileRef f;
+    f.name = fi->child_text("name");
+    f.size = fi->child_i64("nbytes");
+    require(!f.name.empty(), "wu template: <file_info> missing <name>");
+    t.input_files.push_back(std::move(f));
+  }
+  t.target_nresults =
+      static_cast<int>(root->child_i64("target_nresults", t.target_nresults));
+  t.min_quorum = static_cast<int>(root->child_i64("min_quorum", t.min_quorum));
+  t.delay_bound = SimTime::seconds(
+      root->child_double("delay_bound", t.delay_bound.as_seconds()));
+  if (const common::XmlNode* mr = root->child("mapreduce")) {
+    t.job_name = mr->child_text("job");
+    const std::string phase = mr->child_text("phase");
+    require(phase == "map" || phase == "reduce",
+            "wu template: <mapreduce><phase> must be map or reduce");
+    t.phase = phase == "map" ? 1 : 2;
+    t.index = static_cast<int>(mr->child_i64("index", -1));
+    t.n_maps = static_cast<int>(mr->child_i64("n_maps"));
+    t.n_reducers = static_cast<int>(mr->child_i64("n_reducers"));
+  }
+  return t;
+}
+
+}  // namespace vcmr::server

@@ -1,0 +1,41 @@
+#pragma once
+// Work-unit templates.
+//
+// BOINC jobs are staged by rendering XML templates that list a WU's input
+// files and parameters; BOINC-MR adds a <mapreduce> tag naming the job,
+// phase, and task index (§III.B). The JobTracker renders one of these for
+// every map and reduce work unit it creates, and the same parser is what a
+// project operator's staging scripts would feed.
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vcmr::server {
+
+struct TemplateFileRef {
+  std::string name;
+  Bytes size = 0;
+};
+
+struct WuTemplate {
+  std::string wu_name;
+  std::string app_name;
+  std::vector<TemplateFileRef> input_files;
+  int target_nresults = 2;
+  int min_quorum = 2;
+  SimTime delay_bound = SimTime::hours(4);
+
+  // <mapreduce> tag; job_name empty for ordinary (non-MR) work units.
+  std::string job_name;
+  int phase = 0;     ///< 0 = none, 1 = map, 2 = reduce
+  int index = -1;    ///< map index or reduce partition
+  int n_maps = 0;
+  int n_reducers = 0;
+
+  std::string render() const;
+  static WuTemplate parse(const std::string& xml);
+};
+
+}  // namespace vcmr::server

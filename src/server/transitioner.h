@@ -1,0 +1,49 @@
+#pragma once
+// Transitioner: drives the work-unit state machine.
+//
+// As in BOINC (§III.B: "The transitioner and feeder daemons at the server
+// create the results (work unit instances) and add them to the project's
+// database"), each pass it (a) times out overdue in-progress results,
+// (b) creates replica results until a work unit has `target_nresults`
+// usable instances, replacing errored or invalid ones, and (c) retires
+// work units that accumulated too many errors.
+
+#include <functional>
+
+#include "db/database.h"
+#include "server/config.h"
+
+namespace vcmr::server {
+
+struct TransitionerStats {
+  std::int64_t results_created = 0;
+  std::int64_t results_timed_out = 0;
+  std::int64_t results_aborted = 0;   ///< unsent siblings after canonical
+  std::int64_t wus_errored = 0;       ///< error_mass set
+};
+
+class Transitioner {
+ public:
+  Transitioner(db::Database& db, const ProjectConfig& cfg)
+      : db_(db), cfg_(cfg) {}
+
+  /// One daemon pass at simulated time `now`.
+  void pass(SimTime now);
+
+  const TransitionerStats& stats() const { return stats_; }
+
+  /// Invoked when a WU gains error_mass (job-abort handling upstream).
+  void set_error_listener(std::function<void(WorkUnitId)> fn) {
+    on_error_ = std::move(fn);
+  }
+
+ private:
+  void transition(db::WorkUnitRecord& wu);
+
+  db::Database& db_;
+  const ProjectConfig& cfg_;
+  TransitionerStats stats_;
+  std::function<void(WorkUnitId)> on_error_;
+};
+
+}  // namespace vcmr::server

@@ -1,0 +1,48 @@
+#pragma once
+// Validator: quorum validation by output digest.
+//
+// The paper reuses BOINC's replication mechanism unchanged (§III.B: "each
+// map work unit is sent to N different users ... and in order to be
+// validated there must be a quorum of identical outputs — 2 out of the 3
+// users must return the same value, for example. This was also applied to
+// reduce work units."). Replicas agree iff they report the same 128-bit
+// output digest; the first agreeing result (id order) becomes canonical.
+
+#include <functional>
+
+#include "db/database.h"
+#include "server/config.h"
+
+namespace vcmr::server {
+
+struct ValidatorStats {
+  std::int64_t wus_validated = 0;
+  std::int64_t results_valid = 0;
+  std::int64_t results_invalid = 0;
+  std::int64_t inconclusive_checks = 0;
+};
+
+class Validator {
+ public:
+  Validator(db::Database& db, const ProjectConfig& cfg) : db_(db), cfg_(cfg) {}
+
+  /// One daemon pass at simulated time `now`.
+  void pass(SimTime now);
+
+  /// Fires once per work unit when it gains a canonical result.
+  void set_validated_listener(std::function<void(WorkUnitId)> fn) {
+    on_validated_ = std::move(fn);
+  }
+
+  const ValidatorStats& stats() const { return stats_; }
+
+ private:
+  void check(db::WorkUnitRecord& wu, SimTime now);
+
+  db::Database& db_;
+  const ProjectConfig& cfg_;
+  ValidatorStats stats_;
+  std::function<void(WorkUnitId)> on_validated_;
+};
+
+}  // namespace vcmr::server

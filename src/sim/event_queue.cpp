@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include "common/error.h"
+
+namespace vcmr::sim {
+
+EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
+  auto e = std::make_shared<Entry>(Entry{at, next_seq_++, std::move(fn), false});
+  heap_.push(e);
+  by_seq_[e->seq] = e;
+  ++live_;
+  return EventHandle(e->seq);
+}
+
+void EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  const auto it = by_seq_.find(h.seq_);
+  if (it == by_seq_.end()) return;
+  it->second->cancelled = true;
+  it->second->fn = nullptr;  // release captured state promptly
+  by_seq_.erase(it);
+  --live_;
+}
+
+void EventQueue::purge() {
+  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+  // purge() only removes dead entries; it does not change observable state.
+  const_cast<EventQueue*>(this)->purge();
+  return heap_.empty() ? SimTime::infinity() : heap_.top()->at;
+}
+
+SimTime EventQueue::pop_and_run() {
+  purge();
+  require(!heap_.empty(), "EventQueue::pop_and_run on empty queue");
+  const std::shared_ptr<Entry> e = heap_.top();
+  heap_.pop();
+  by_seq_.erase(e->seq);
+  --live_;
+  // The callback may schedule or cancel other events; this entry is already
+  // detached so that is safe.
+  e->fn();
+  return e->at;
+}
+
+}  // namespace vcmr::sim

@@ -1,0 +1,63 @@
+#pragma once
+// The discrete-event simulation kernel: a virtual clock plus the event
+// queue, with convenience scheduling in relative time and run-loop control.
+//
+// All VCMR subsystems (network, server daemons, clients, churn models) hang
+// off one Simulation instance and advance exclusively through its events;
+// nothing reads wall-clock time, so runs are bit-reproducible.
+
+#include <functional>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace vcmr::sim {
+
+class Simulation {
+ public:
+  /// root_seed drives every RNG stream in the simulation.
+  explicit Simulation(std::uint64_t root_seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule at an absolute simulated time (must be >= now).
+  EventHandle at(SimTime when, EventFn fn);
+  /// Schedule after a relative delay (must be >= 0).
+  EventHandle after(SimTime delay, EventFn fn);
+  void cancel(EventHandle h) { queue_.cancel(h); }
+
+  /// Runs until the queue drains or `until` is reached, whichever is first.
+  /// Returns the final clock value.
+  SimTime run(SimTime until = SimTime::infinity());
+
+  /// Runs until pred() returns true (checked after every event) or the
+  /// queue drains. Returns true if the predicate fired.
+  bool run_until(const std::function<bool()>& pred,
+                 SimTime deadline = SimTime::infinity());
+
+  /// Stops the current run() after the in-flight event completes.
+  void stop() { stop_requested_ = true; }
+
+  std::size_t events_executed() const { return events_executed_; }
+  bool idle() const { return queue_.empty(); }
+
+  const common::RngStreamFactory& rng_factory() const { return rng_; }
+  common::Rng rng_stream(std::string_view name, std::uint64_t index = 0) const {
+    return rng_.stream(name, index);
+  }
+
+ private:
+  SimTime now_;
+  EventQueue queue_;
+  common::RngStreamFactory rng_;
+  bool stop_requested_ = false;
+  std::size_t events_executed_ = 0;
+};
+
+}  // namespace vcmr::sim

@@ -1,0 +1,31 @@
+#pragma once
+// Byzantine volunteer mix (§III.B: "we have to consider byzantine
+// behavior: malicious users or errors during the computation").
+//
+// A fraction of the fleet is faulty; each faulty host corrupts any given
+// result with a per-task error probability. Per-host probabilities plug
+// straight into ClientConfig::error_probability; the quorum validator is
+// what contains them.
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vcmr::volunteer {
+
+struct ByzantineMix {
+  double faulty_fraction = 0.0;    ///< share of hosts that misbehave
+  double error_probability = 1.0;  ///< per-task corruption rate when faulty
+};
+
+/// Per-host error probabilities for a fleet of n.
+inline std::vector<double> error_probabilities(int n, const ByzantineMix& mix,
+                                               common::Rng& rng) {
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  for (auto& p : out) {
+    if (rng.chance(mix.faulty_fraction)) p = mix.error_probability;
+  }
+  return out;
+}
+
+}  // namespace vcmr::volunteer

@@ -1,0 +1,62 @@
+#include "volunteer/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vcmr::volunteer {
+
+std::vector<client::HostSpec> emulab_mix(int n) {
+  require(n >= 1, "emulab_mix: need at least one host");
+  std::vector<client::HostSpec> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(i % 2 == 0 ? client::pc3001() : client::pcr200());
+  }
+  return out;
+}
+
+std::vector<client::HostSpec> internet_mix(int n, common::Rng& rng) {
+  require(n >= 1, "internet_mix: need at least one host");
+  std::vector<client::HostSpec> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    client::HostSpec s = client::broadband_volunteer();
+    // Multiplicative heterogeneity: e^N(0, 0.4) spans roughly 0.3x..3x.
+    s.flops *= std::exp(rng.normal(0.0, 0.4));
+    s.down_bps *= std::exp(rng.normal(0.0, 0.5));
+    s.up_bps *= std::exp(rng.normal(0.0, 0.5));
+    s.latency = SimTime::millis(
+        static_cast<std::int64_t>(std::clamp(rng.normal(30, 15), 5.0, 120.0)));
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<net::NatProfile> nat_profiles(int n, const NatMix& mix,
+                                          common::Rng& rng) {
+  require(n >= 0, "nat_profiles: negative count");
+  std::vector<net::NatProfile> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    net::NatProfile p;
+    double acc = mix.open;
+    if (u < acc) {
+      p.type = net::NatType::kNone;
+    } else if (u < (acc += mix.full_cone)) {
+      p.type = net::NatType::kFullCone;
+    } else if (u < (acc += mix.restricted)) {
+      p.type = net::NatType::kRestrictedCone;
+    } else if (u < (acc += mix.port_restricted)) {
+      p.type = net::NatType::kPortRestricted;
+    } else {
+      p.type = net::NatType::kSymmetric;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace vcmr::volunteer

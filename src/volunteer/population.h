@@ -1,0 +1,34 @@
+#pragma once
+// Volunteer population generation: host fleets with the paper's Emulab node
+// types or heterogeneous Internet volunteers, plus NAT-profile mixes for
+// the §III.D traversal experiments.
+
+#include <vector>
+
+#include "client/host_info.h"
+#include "common/rng.h"
+#include "net/nat.h"
+
+namespace vcmr::volunteer {
+
+/// The paper's testbed mix: pc3001 and pcr200 nodes, alternating (§IV.A
+/// lists both types without per-experiment counts).
+std::vector<client::HostSpec> emulab_mix(int n);
+
+/// Internet volunteers: broadband hosts with flops/link draws around the
+/// broadband_volunteer() preset (lognormal-ish heterogeneity).
+std::vector<client::HostSpec> internet_mix(int n, common::Rng& rng);
+
+/// NAT profile mix observed in P2P measurement studies: a fraction public,
+/// the rest split across cone and symmetric types.
+struct NatMix {
+  double open = 0.20;            ///< public or port-forwarded
+  double full_cone = 0.20;
+  double restricted = 0.15;
+  double port_restricted = 0.30;
+  double symmetric = 0.15;       ///< remainder
+};
+std::vector<net::NatProfile> nat_profiles(int n, const NatMix& mix,
+                                          common::Rng& rng);
+
+}  // namespace vcmr::volunteer

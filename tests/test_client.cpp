@@ -1,0 +1,236 @@
+// Tests for the client-side building blocks: exponential backoff,
+// MapOutputServer serving rules, and PeerFetcher retry/fallback behaviour.
+
+#include <gtest/gtest.h>
+
+#include "client/backoff.h"
+#include "client/interclient.h"
+#include "sim/simulation.h"
+
+namespace vcmr::client {
+namespace {
+
+TEST(Backoff, EscalatesAndCaps) {
+  sim::Simulation sim(1);
+  ExponentialBackoff b(SimTime::seconds(60), SimTime::seconds(600),
+                       sim.rng_stream("b"), /*jitter=*/0.0);
+  EXPECT_NEAR(b.next().as_seconds(), 60, 1e-9);
+  EXPECT_NEAR(b.next().as_seconds(), 120, 1e-9);
+  EXPECT_NEAR(b.next().as_seconds(), 240, 1e-9);
+  EXPECT_NEAR(b.next().as_seconds(), 480, 1e-9);
+  EXPECT_NEAR(b.next().as_seconds(), 600, 1e-9);  // paper's observed cap
+  EXPECT_NEAR(b.next().as_seconds(), 600, 1e-9);
+  EXPECT_EQ(b.failures(), 6);
+}
+
+TEST(Backoff, ResetRestartsLadder) {
+  sim::Simulation sim(1);
+  ExponentialBackoff b(SimTime::seconds(60), SimTime::seconds(600),
+                       sim.rng_stream("b"), 0.0);
+  b.next();
+  b.next();
+  b.reset();
+  EXPECT_EQ(b.failures(), 0);
+  EXPECT_NEAR(b.next().as_seconds(), 60, 1e-9);
+}
+
+TEST(Backoff, JitterStaysInBand) {
+  sim::Simulation sim(2);
+  ExponentialBackoff b(SimTime::seconds(100), SimTime::seconds(1000),
+                       sim.rng_stream("b"), 0.3);
+  for (int i = 0; i < 50; ++i) {
+    const double d = b.next().as_seconds();
+    EXPECT_GE(d, 70.0 - 1e-9);
+    EXPECT_LE(d, 1000.0 + 1e-9);
+  }
+}
+
+struct IcFixture {
+  sim::Simulation sim{3};
+  net::Network net{sim};
+  PeerRegistry registry;
+  NodeId mapper, reducer;
+
+  IcFixture() {
+    net::NodeConfig c;
+    c.latency = SimTime::millis(5);
+    mapper = net.add_node(c);
+    reducer = net.add_node(c);
+  }
+
+  MapOutputServerConfig serve_cfg(int max_conn = 4,
+                                  double timeout_s = 3600) {
+    MapOutputServerConfig c;
+    c.max_connections = max_conn;
+    c.serve_timeout = SimTime::seconds(timeout_s);
+    return c;
+  }
+};
+
+TEST(MapOutputServer, ServesOfferedFile) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg());
+  srv.offer("m0.part0", mr::FilePayload::of_content("w 1\n"));
+  EXPECT_TRUE(srv.serving());
+  EXPECT_EQ(f.registry.find({f.mapper, 31416}), &srv);
+
+  std::string got;
+  const bool accepted = srv.start_serving(
+      f.reducer, "m0.part0", std::nullopt,
+      [&](const mr::FilePayload& p) { got = *p.content; }, nullptr);
+  EXPECT_TRUE(accepted);
+  f.sim.run();
+  EXPECT_EQ(got, "w 1\n");
+  EXPECT_EQ(srv.stats().served, 1);
+  EXPECT_EQ(srv.stats().bytes_served, 4);
+}
+
+TEST(MapOutputServer, RejectsMissingFile) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg());
+  srv.offer("exists", mr::FilePayload::of_content("x"));
+  EXPECT_FALSE(srv.start_serving(f.reducer, "missing", std::nullopt,
+                                 nullptr, nullptr));
+  EXPECT_EQ(srv.stats().rejected_missing, 1);
+}
+
+TEST(MapOutputServer, ConnectionLimitEnforced) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg(/*max_conn=*/2));
+  srv.offer("f", mr::FilePayload::of_content(std::string(1'000'000, 'x')));
+  int ok = 0;
+  for (int i = 0; i < 3; ++i) {
+    const bool accepted = srv.start_serving(
+        f.reducer, "f", std::nullopt, [&](const mr::FilePayload&) { ++ok; },
+        nullptr);
+    EXPECT_EQ(accepted, i < 2);
+  }
+  EXPECT_EQ(srv.stats().rejected_busy, 1);
+  f.sim.run();
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(srv.active_connections(), 0);
+}
+
+TEST(MapOutputServer, TimeoutWithdrawsAndUnregisters) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg(4, /*timeout_s=*/100));
+  srv.offer("f", mr::FilePayload::of_content("x"));
+  f.sim.run(SimTime::seconds(99));
+  EXPECT_TRUE(srv.serving());
+  f.sim.run(SimTime::seconds(101));
+  EXPECT_FALSE(srv.serving());
+  // "stop accepting connections when there are no more files available":
+  EXPECT_EQ(f.registry.find({f.mapper, 31416}), nullptr);
+}
+
+TEST(MapOutputServer, ActivityResetsTimeout) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg(4, 100));
+  srv.offer("f", mr::FilePayload::of_content("x"));
+  f.sim.run(SimTime::seconds(80));
+  srv.start_serving(f.reducer, "f", std::nullopt, nullptr, nullptr);
+  f.sim.run(SimTime::seconds(150));  // past the original deadline
+  EXPECT_TRUE(srv.serving());        // reset by the serve at t=80
+  f.sim.run(SimTime::seconds(190));
+  EXPECT_FALSE(srv.serving());
+}
+
+TEST(MapOutputServer, ExplicitResetTimeouts) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg(4, 100));
+  srv.offer("f", mr::FilePayload::of_content("x"));
+  f.sim.run(SimTime::seconds(90));
+  srv.reset_timeouts();  // §III.C: reset when the server reschedules a reduce
+  f.sim.run(SimTime::seconds(150));
+  EXPECT_TRUE(srv.serving());
+}
+
+TEST(MapOutputServer, WithdrawAllStopsServing) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg());
+  srv.offer("a", mr::FilePayload::of_content("1"));
+  srv.offer("b", mr::FilePayload::of_content("2"));
+  srv.withdraw_all();
+  EXPECT_FALSE(srv.serving());
+  EXPECT_EQ(f.registry.find({f.mapper, 31416}), nullptr);
+}
+
+TEST(PeerFetcher, FetchesFromServingPeer) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg());
+  srv.offer("f", mr::FilePayload::of_content("data"));
+  PeerFetcher fetcher(f.sim, f.net, f.reducer, f.registry, nullptr);
+  std::string got;
+  fetcher.fetch({f.mapper, 31416}, "f", 4,
+                [&](const mr::FilePayload& p) { got = *p.content; },
+                [](const std::string& why) { FAIL() << why; });
+  f.sim.run();
+  EXPECT_EQ(got, "data");
+  EXPECT_EQ(fetcher.stats().fetches_ok, 1);
+}
+
+TEST(PeerFetcher, ExhaustsAttemptsThenFails) {
+  IcFixture f;
+  PeerFetchConfig cfg;
+  cfg.max_attempts = 3;
+  cfg.retry_delay = SimTime::seconds(1);
+  PeerFetcher fetcher(f.sim, f.net, f.reducer, f.registry, nullptr, cfg);
+  std::string why;
+  fetcher.fetch({f.mapper, 31416}, "gone", 4, nullptr,
+                [&](const std::string& w) { why = w; });
+  f.sim.run();
+  EXPECT_FALSE(why.empty());
+  EXPECT_EQ(fetcher.stats().attempts, 3);
+  EXPECT_EQ(fetcher.stats().fetches_failed, 1);
+  // The three attempts cost at least two retry delays.
+  EXPECT_GE(f.sim.now().as_seconds(), 2.0);
+}
+
+TEST(PeerFetcher, OfflinePeerRetriesAndFails) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg());
+  srv.offer("f", mr::FilePayload::of_content("x"));
+  f.net.set_online(f.mapper, false);
+  PeerFetchConfig cfg;
+  cfg.max_attempts = 2;
+  cfg.retry_delay = SimTime::seconds(1);
+  PeerFetcher fetcher(f.sim, f.net, f.reducer, f.registry, nullptr, cfg);
+  bool failed = false;
+  fetcher.fetch({f.mapper, 31416}, "f", 1, nullptr,
+                [&](const std::string&) { failed = true; });
+  f.sim.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(PeerFetcher, RecoversOnRetryAfterBusy) {
+  IcFixture f;
+  MapOutputServer srv(f.sim, f.net, f.mapper, {f.mapper, 31416}, f.registry,
+                      f.serve_cfg(/*max_conn=*/1));
+  srv.offer("big", mr::FilePayload::of_content(std::string(500'000, 'x')));
+  // Occupy the single slot with one transfer...
+  srv.start_serving(f.reducer, "big", std::nullopt, nullptr, nullptr);
+  // ...so the fetcher's first attempt is refused and its retry succeeds.
+  PeerFetchConfig cfg;
+  cfg.max_attempts = 3;
+  cfg.retry_delay = SimTime::seconds(2);
+  PeerFetcher fetcher(f.sim, f.net, f.reducer, f.registry, nullptr, cfg);
+  bool ok = false;
+  fetcher.fetch({f.mapper, 31416}, "big", 500'000,
+                [&](const mr::FilePayload&) { ok = true; },
+                [](const std::string& w) { FAIL() << w; });
+  f.sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_GE(fetcher.stats().attempts, 2);
+}
+
+}  // namespace
+}  // namespace vcmr::client

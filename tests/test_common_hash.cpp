@@ -1,0 +1,91 @@
+// Tests for digests and the partitioning hash.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/hash.h"
+
+namespace vcmr::common {
+namespace {
+
+TEST(Hasher, SameInputSameDigest) {
+  EXPECT_EQ(Hasher::of("hello world"), Hasher::of("hello world"));
+}
+
+TEST(Hasher, DifferentInputDifferentDigest) {
+  EXPECT_NE(Hasher::of("hello world"), Hasher::of("hello worle"));
+}
+
+TEST(Hasher, EmptyInputIsStable) {
+  EXPECT_EQ(Hasher::of(""), Hasher::of(""));
+  EXPECT_NE(Hasher::of(""), Hasher::of("x"));
+}
+
+TEST(Hasher, IncrementalEqualsOneShot) {
+  Hasher h;
+  h.update("hello ").update("world");
+  EXPECT_EQ(h.digest(), Hasher::of("hello world"));
+}
+
+TEST(Hasher, LengthDisambiguatesChunking) {
+  // "ab" + "c" must equal "abc" (it is the same byte stream)...
+  Hasher h1;
+  h1.update("ab").update("c");
+  EXPECT_EQ(h1.digest(), Hasher::of("abc"));
+  // ...but appending an empty suffix does not change anything either.
+  Hasher h2;
+  h2.update("abc").update("");
+  EXPECT_EQ(h2.digest(), Hasher::of("abc"));
+}
+
+TEST(Hasher, Update64MixesIn) {
+  Hasher a, b;
+  a.update_u64(1);
+  b.update_u64(2);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hasher, NoCollisionsOnSmallCorpus) {
+  std::set<std::string> hexes;
+  for (int i = 0; i < 20000; ++i) {
+    hexes.insert(Hasher::of("payload-" + std::to_string(i)).hex());
+  }
+  EXPECT_EQ(hexes.size(), 20000u);
+}
+
+TEST(Digest128, HexIs32Chars) {
+  const Digest128 d = Hasher::of("x");
+  EXPECT_EQ(d.hex().size(), 32u);
+  for (const char c : d.hex()) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(Digest128, Ordering) {
+  const Digest128 a{1, 2};
+  const Digest128 b{1, 3};
+  const Digest128 c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Digest128{1, 2}));
+}
+
+TEST(Fnv1a64, KnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  // And of "a" per the reference implementation.
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a64, SpreadsKeys) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(fnv1a64("word" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace vcmr::common

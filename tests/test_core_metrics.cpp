@@ -1,0 +1,158 @@
+// Unit tests for the metrics module against hand-built database states:
+// the paper's phase-time definitions, the discard-slowest-node variant,
+// and the map→reduce gap.
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace vcmr::core {
+namespace {
+
+struct Fixture {
+  db::Database db;
+  AppId app;
+  MrJobId job;
+  std::vector<HostId> hosts;
+
+  Fixture(int n_hosts, int n_maps, int n_reducers) {
+    app = db.create_app("word_count").id;
+    for (int i = 0; i < n_hosts; ++i) {
+      db::HostRecord hp;
+      hp.name = "host" + std::to_string(i + 1);
+      hp.node = NodeId{i + 1};
+      hosts.push_back(db.create_host(hp).id);
+    }
+    db::MrJobRecord jp;
+    jp.name = "job";
+    jp.app = app;
+    jp.n_maps = n_maps;
+    jp.n_reducers = n_reducers;
+    job = db.create_mr_job(jp).id;
+  }
+
+  WorkUnitId add_wu(db::MrPhase phase, int index) {
+    db::WorkUnitRecord wp;
+    wp.name = std::string(phase == db::MrPhase::kMap ? "m" : "r") +
+              std::to_string(index);
+    wp.app = app;
+    wp.mr_phase = phase;
+    wp.mr_job = job;
+    wp.mr_index = index;
+    return db.create_workunit(wp).id;
+  }
+
+  void add_result(WorkUnitId wu, HostId host, double sent_s, double recv_s,
+                  db::Outcome outcome = db::Outcome::kSuccess) {
+    db::ResultRecord rp;
+    rp.wu = wu;
+    rp.server_state = db::ServerState::kOver;
+    rp.outcome = outcome;
+    rp.host = host;
+    rp.sent_time = SimTime::seconds(sent_s);
+    rp.received_time = SimTime::seconds(recv_s);
+    db.create_result(rp);
+  }
+};
+
+TEST(Metrics, PaperDefinitions) {
+  Fixture f(3, 2, 1);
+  const WorkUnitId m0 = f.add_wu(db::MrPhase::kMap, 0);
+  const WorkUnitId m1 = f.add_wu(db::MrPhase::kMap, 1);
+  const WorkUnitId r0 = f.add_wu(db::MrPhase::kReduce, 0);
+  // Map: host1 fast (10→110), host2 fast (12→112), host3 straggles (12→512).
+  f.add_result(m0, f.hosts[0], 10, 110);
+  f.add_result(m0, f.hosts[1], 12, 112);
+  f.add_result(m1, f.hosts[1], 20, 130);
+  f.add_result(m1, f.hosts[2], 12, 512);
+  // Reduce assigned at 540, reported at 600/620.
+  f.add_result(r0, f.hosts[0], 540, 600);
+  f.add_result(r0, f.hosts[1], 540, 620);
+  auto& jr = f.db.mr_job(f.job);
+  jr.map_first_sent = SimTime::seconds(10);
+  jr.reduce_first_sent = SimTime::seconds(540);
+  jr.state = db::MrJobState::kDone;
+
+  const JobMetrics m = compute_job_metrics(f.db, f.job);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.map.tasks, 4);
+  // avg interval: (100 + 100 + 110 + 500)/4 = 202.5
+  EXPECT_NEAR(m.map.avg_task_seconds, 202.5, 1e-9);
+  // phase span: first sent 10 → last report 512.
+  EXPECT_NEAR(m.map.span_seconds, 502, 1e-9);
+  // Slowest node is host3 (closes the phase); trimmed avg over the rest.
+  EXPECT_EQ(m.map.slowest_host, "host3");
+  EXPECT_NEAR(m.map.avg_task_seconds_trimmed, (100 + 100 + 110) / 3.0, 1e-9);
+  EXPECT_NEAR(m.map.span_seconds_trimmed, 130 - 10, 1e-9);
+  // Gap: last map report 512 → reduce first sent 540.
+  EXPECT_NEAR(m.map_to_reduce_gap_seconds, 28, 1e-9);
+  // Total: first map sent 10 → last reduce report 620.
+  EXPECT_NEAR(m.total_seconds, 610, 1e-9);
+  EXPECT_EQ(m.reduce.tasks, 2);
+  EXPECT_NEAR(m.reduce.avg_task_seconds, 70, 1e-9);
+}
+
+TEST(Metrics, UnreportedResultsExcluded) {
+  Fixture f(2, 1, 1);
+  const WorkUnitId m0 = f.add_wu(db::MrPhase::kMap, 0);
+  f.add_result(m0, f.hosts[0], 5, 50);
+  // A no-reply result never made it back; it must not enter the averages.
+  f.add_result(m0, f.hosts[1], 5, 0, db::Outcome::kNoReply);
+  f.db.mr_job(f.job).map_first_sent = SimTime::seconds(5);
+  const JobMetrics m = compute_job_metrics(f.db, f.job);
+  EXPECT_EQ(m.map.tasks, 1);
+  EXPECT_NEAR(m.map.avg_task_seconds, 45, 1e-9);
+}
+
+TEST(Metrics, ValidateErrorResultsCount) {
+  // A result that reported but failed validation was still a completed
+  // execution from the timing standpoint (it occupied the host and the
+  // scheduler); the paper's per-step averages include every returned task.
+  Fixture f(2, 1, 1);
+  const WorkUnitId m0 = f.add_wu(db::MrPhase::kMap, 0);
+  f.add_result(m0, f.hosts[0], 0, 40);
+  f.add_result(m0, f.hosts[1], 0, 60, db::Outcome::kValidateError);
+  f.db.mr_job(f.job).map_first_sent = SimTime::zero();
+  const JobMetrics m = compute_job_metrics(f.db, f.job);
+  EXPECT_EQ(m.map.tasks, 2);
+  EXPECT_NEAR(m.map.avg_task_seconds, 50, 1e-9);
+}
+
+TEST(Metrics, SingleHostTrimFallsBack) {
+  Fixture f(1, 1, 1);
+  const WorkUnitId m0 = f.add_wu(db::MrPhase::kMap, 0);
+  f.add_result(m0, f.hosts[0], 0, 100);
+  f.db.mr_job(f.job).map_first_sent = SimTime::zero();
+  const JobMetrics m = compute_job_metrics(f.db, f.job);
+  // Discarding the only host would leave nothing; fall back to raw values.
+  EXPECT_NEAR(m.map.avg_task_seconds_trimmed, m.map.avg_task_seconds, 1e-9);
+}
+
+TEST(Metrics, EmptyJob) {
+  Fixture f(1, 1, 1);
+  const JobMetrics m = compute_job_metrics(f.db, f.job);
+  EXPECT_EQ(m.map.tasks, 0);
+  EXPECT_EQ(m.total_seconds, 0);
+  EXPECT_FALSE(m.completed);
+}
+
+TEST(Metrics, FailedJobFlag) {
+  Fixture f(1, 1, 1);
+  f.db.mr_job(f.job).state = db::MrJobState::kFailed;
+  EXPECT_TRUE(compute_job_metrics(f.db, f.job).failed);
+}
+
+TEST(Metrics, TaskIntervalsSortedBySentTime) {
+  Fixture f(2, 2, 1);
+  const WorkUnitId m0 = f.add_wu(db::MrPhase::kMap, 0);
+  const WorkUnitId m1 = f.add_wu(db::MrPhase::kMap, 1);
+  f.add_result(m1, f.hosts[0], 30, 90);
+  f.add_result(m0, f.hosts[1], 10, 80);
+  f.db.mr_job(f.job).map_first_sent = SimTime::seconds(10);
+  const JobMetrics m = compute_job_metrics(f.db, f.job);
+  ASSERT_EQ(m.map_tasks.size(), 2u);
+  EXPECT_LE(m.map_tasks[0].sent_seconds, m.map_tasks[1].sent_seconds);
+}
+
+}  // namespace
+}  // namespace vcmr::core

@@ -1,0 +1,153 @@
+// Tests for scenario XML parsing/serialization and the workflow chain.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/scenario_io.h"
+#include "core/workflow.h"
+#include "mr/apps.h"
+#include "mr/dataset.h"
+#include "mr/local_runtime.h"
+
+namespace vcmr::core {
+namespace {
+
+TEST(ScenarioIo, DefaultsRoundTrip) {
+  const Scenario base;
+  const Scenario back = scenario_from_xml(scenario_to_xml(base));
+  EXPECT_EQ(back.seed, base.seed);
+  EXPECT_EQ(back.n_nodes, base.n_nodes);
+  EXPECT_EQ(back.n_maps, base.n_maps);
+  EXPECT_EQ(back.n_reducers, base.n_reducers);
+  EXPECT_EQ(back.input_size, base.input_size);
+  EXPECT_EQ(back.app, base.app);
+  EXPECT_EQ(back.boinc_mr, base.boinc_mr);
+  EXPECT_EQ(back.project.target_nresults, base.project.target_nresults);
+  EXPECT_EQ(back.client.backoff_max, base.client.backoff_max);
+  EXPECT_FALSE(back.churn.has_value());
+  EXPECT_FALSE(back.nat_mix.has_value());
+  EXPECT_FALSE(back.byzantine.has_value());
+}
+
+TEST(ScenarioIo, FullDocument) {
+  const std::string xml = R"(<scenario>
+    <seed>9</seed>
+    <nodes>12</nodes><maps>24</maps><reducers>6</reducers>
+    <input_mb>500</input_mb>
+    <app>grep</app>
+    <boinc_mr>1</boinc_mr>
+    <time_limit_s>7200</time_limit_s>
+    <project>
+      <target_nresults>3</target_nresults><min_quorum>2</min_quorum>
+      <mirror_map_outputs>0</mirror_map_outputs>
+      <pipelined_reduce>1</pipelined_reduce>
+    </project>
+    <client>
+      <backoff_max_s>300</backoff_max_s>
+      <peer_fetch_attempts>5</peer_fetch_attempts>
+    </client>
+    <server_link><up_mbps>50</up_mbps><down_mbps>50</down_mbps><latency_ms>4</latency_ms></server_link>
+    <hosts><preset>internet</preset></hosts>
+    <churn><mean_on_s>3600</mean_on_s><mean_off_s>400</mean_off_s></churn>
+    <nat><open>0.5</open><symmetric>0.5</symmetric>
+         <full_cone>0</full_cone><restricted>0</restricted><port_restricted>0</port_restricted></nat>
+    <overlay/>
+    <byzantine><faulty_fraction>0.2</faulty_fraction><error_probability>0.9</error_probability></byzantine>
+    <flow_failure_rate>0.01</flow_failure_rate>
+  </scenario>)";
+  const Scenario s = scenario_from_xml(xml);
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.n_nodes, 12);
+  EXPECT_EQ(s.n_maps, 24);
+  EXPECT_EQ(s.input_size, 500'000'000);
+  EXPECT_EQ(s.app, "grep");
+  EXPECT_TRUE(s.boinc_mr);
+  EXPECT_EQ(s.time_limit, SimTime::seconds(7200));
+  EXPECT_EQ(s.project.target_nresults, 3);
+  EXPECT_FALSE(s.project.mirror_map_outputs);
+  EXPECT_TRUE(s.project.pipelined_reduce);
+  EXPECT_EQ(s.client.backoff_max, SimTime::seconds(300));
+  EXPECT_EQ(s.client.peer_fetch.max_attempts, 5);
+  EXPECT_DOUBLE_EQ(s.server_up_bps, 50e6 / 8);
+  EXPECT_EQ(s.server_latency, SimTime::millis(4));
+  EXPECT_EQ(s.host_preset, "internet");
+  ASSERT_TRUE(s.churn.has_value());
+  EXPECT_EQ(s.churn->mean_off, SimTime::seconds(400));
+  ASSERT_TRUE(s.nat_mix.has_value());
+  EXPECT_TRUE(s.use_traversal);
+  EXPECT_TRUE(s.use_overlay);
+  ASSERT_TRUE(s.byzantine.has_value());
+  EXPECT_DOUBLE_EQ(s.byzantine->faulty_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(s.flow_failure_rate, 0.01);
+
+  // Round-trips through its own serialization.
+  const Scenario back = scenario_from_xml(scenario_to_xml(s));
+  EXPECT_EQ(back.n_nodes, 12);
+  EXPECT_EQ(back.host_preset, "internet");
+  EXPECT_TRUE(back.use_overlay);
+  ASSERT_TRUE(back.nat_mix.has_value());
+  EXPECT_DOUBLE_EQ(back.nat_mix->symmetric, 0.5);
+}
+
+TEST(ScenarioIo, RejectsInvalid) {
+  EXPECT_THROW(scenario_from_xml("<wrong/>"), Error);
+  EXPECT_THROW(scenario_from_xml("<scenario><nodes>0</nodes></scenario>"),
+               Error);
+  EXPECT_THROW(scenario_from_xml(
+                   "<scenario><hosts><preset>mars</preset></hosts></scenario>"),
+               Error);
+  EXPECT_THROW(
+      scenario_from_xml("<scenario><project><min_quorum>9</min_quorum>"
+                        "</project></scenario>"),
+      Error);
+}
+
+TEST(ScenarioIo, ParsedScenarioRuns) {
+  const Scenario s = scenario_from_xml(
+      "<scenario><nodes>6</nodes><maps>6</maps><reducers>2</reducers>"
+      "<input_mb>50</input_mb><boinc_mr>1</boinc_mr></scenario>");
+  Cluster cluster(s);
+  EXPECT_TRUE(cluster.run_job().metrics.completed);
+}
+
+TEST(Workflow, ChainMatchesLocalOracle) {
+  common::RngStreamFactory f(123);
+  common::Rng rng = f.stream("corpus");
+  mr::ZipfOptions zo;
+  zo.vocabulary = 400;
+  const std::string corpus = mr::ZipfCorpus(zo).generate(80 * 1024, rng);
+
+  Scenario s;
+  s.seed = 4;
+  s.n_nodes = 6;
+  s.boinc_mr = true;
+  s.input_text = corpus;
+  Cluster cluster(s);
+  const ChainResult chain = run_chain(
+      cluster, "wf", corpus, {{"word_count", 4, 2}, {"count_range", 2, 2}});
+  ASSERT_TRUE(chain.completed);
+  ASSERT_EQ(chain.stages.size(), 2u);
+
+  mr::register_builtin_apps();
+  const auto* wc = mr::AppRegistry::instance().find("word_count");
+  const auto* cr = mr::AppRegistry::instance().find("count_range");
+  const auto s1 = mr::run_local(*wc, corpus, {4, 2, 2, true});
+  const auto s2 = mr::run_local(*cr, mr::serialize_kvs(s1.output), {2, 2, 2, true});
+  EXPECT_EQ(chain.final_output, s2.output);
+}
+
+TEST(Workflow, FailedStageStopsChain) {
+  Scenario s;
+  s.seed = 5;
+  s.n_nodes = 4;
+  s.boinc_mr = true;
+  s.input_text = "tiny input";
+  Cluster cluster(s);
+  // Unknown app in stage 2: submit throws inside run_chain's second stage.
+  EXPECT_THROW(run_chain(cluster, "wf", "tiny input",
+                         {{"word_count", 2, 1}, {"no_such_app", 2, 1}}),
+               Error);
+}
+
+}  // namespace
+}  // namespace vcmr::core

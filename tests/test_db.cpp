@@ -1,0 +1,230 @@
+// Tests for the project database: record lifecycle, queries the daemons
+// rely on, and the save/load snapshot round trip.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "db/database.h"
+
+namespace vcmr::db {
+namespace {
+
+WorkUnitRecord wu_proto(const std::string& name, AppId app) {
+  WorkUnitRecord wu;
+  wu.name = name;
+  wu.app = app;
+  return wu;
+}
+
+TEST(Database, CreateAndLookup) {
+  Database db;
+  const AppRecord& app = db.create_app("word_count");
+  EXPECT_EQ(app.name, "word_count");
+  EXPECT_EQ(db.app(app.id).name, "word_count");
+
+  HostRecord hp;
+  hp.node = NodeId{3};
+  hp.flops = 2e9;
+  const HostRecord& host = db.create_host(hp);
+  EXPECT_EQ(host.name, "host1");  // auto-named
+  EXPECT_EQ(db.host(host.id).flops, 2e9);
+}
+
+TEST(Database, UnknownIdThrows) {
+  Database db;
+  EXPECT_THROW(db.host(HostId{42}), Error);
+  EXPECT_THROW(db.workunit(WorkUnitId{1}), Error);
+  EXPECT_THROW(db.result(ResultId{1}), Error);
+}
+
+TEST(Database, FileNamesUnique) {
+  Database db;
+  FileRecord f;
+  f.name = "input0";
+  db.create_file(f);
+  EXPECT_THROW(db.create_file(f), Error);
+  EXPECT_TRUE(db.find_file_by_name("input0").has_value());
+  EXPECT_FALSE(db.find_file_by_name("nope").has_value());
+}
+
+TEST(Database, ResultsIndexByWorkUnit) {
+  Database db;
+  const AppRecord& app = db.create_app("a");
+  const WorkUnitRecord& wu = db.create_workunit(wu_proto("wu0", app.id));
+  ResultRecord rp;
+  rp.wu = wu.id;
+  const ResultRecord& r1 = db.create_result(rp);
+  const ResultRecord& r2 = db.create_result(rp);
+  EXPECT_EQ(r1.name, "wu0_0");
+  EXPECT_EQ(r2.name, "wu0_1");
+  const auto rs = db.results_of(wu.id);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0], r1.id);
+}
+
+TEST(Database, UnsentQuery) {
+  Database db;
+  const AppRecord& app = db.create_app("a");
+  const WorkUnitRecord& wu = db.create_workunit(wu_proto("wu0", app.id));
+  ResultRecord rp;
+  rp.wu = wu.id;
+  rp.server_state = ServerState::kUnsent;
+  const ResultRecord& r1 = db.create_result(rp);
+  rp.server_state = ServerState::kInProgress;
+  db.create_result(rp);
+  const auto unsent = db.unsent_results();
+  ASSERT_EQ(unsent.size(), 1u);
+  EXPECT_EQ(unsent[0], r1.id);
+}
+
+TEST(Database, TimedOutQuery) {
+  Database db;
+  const AppRecord& app = db.create_app("a");
+  const WorkUnitRecord& wu = db.create_workunit(wu_proto("wu0", app.id));
+  ResultRecord rp;
+  rp.wu = wu.id;
+  rp.server_state = ServerState::kInProgress;
+  rp.report_deadline = SimTime::seconds(100);
+  const ResultRecord& r = db.create_result(rp);
+  EXPECT_TRUE(db.timed_out_results(SimTime::seconds(50)).empty());
+  const auto late = db.timed_out_results(SimTime::seconds(100));
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0], r.id);
+}
+
+TEST(Database, TransitionFlags) {
+  Database db;
+  const AppRecord& app = db.create_app("a");
+  const WorkUnitRecord& wu = db.create_workunit(wu_proto("wu0", app.id));
+  // Newborn WUs are flagged.
+  auto pending = db.transition_pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0], wu.id);
+  db.clear_transition(wu.id);
+  EXPECT_TRUE(db.transition_pending().empty());
+  db.flag_transition(wu.id);
+  EXPECT_EQ(db.transition_pending().size(), 1u);
+}
+
+TEST(Database, JobPhaseQuery) {
+  Database db;
+  const AppRecord& app = db.create_app("a");
+  MrJobRecord jp;
+  jp.name = "job";
+  jp.app = app.id;
+  const MrJobRecord& job = db.create_mr_job(jp);
+  WorkUnitRecord wp = wu_proto("m0", app.id);
+  wp.mr_phase = MrPhase::kMap;
+  wp.mr_job = job.id;
+  db.create_workunit(wp);
+  wp.name = "r0";
+  wp.mr_phase = MrPhase::kReduce;
+  db.create_workunit(wp);
+  EXPECT_EQ(db.workunits_of_job(job.id, MrPhase::kMap).size(), 1u);
+  EXPECT_EQ(db.workunits_of_job(job.id, MrPhase::kReduce).size(), 1u);
+}
+
+TEST(Database, InProgressOnHost) {
+  Database db;
+  const AppRecord& app = db.create_app("a");
+  const WorkUnitRecord& wu = db.create_workunit(wu_proto("wu0", app.id));
+  ResultRecord rp;
+  rp.wu = wu.id;
+  rp.server_state = ServerState::kInProgress;
+  rp.host = HostId{5};
+  db.create_result(rp);
+  rp.host = HostId{6};
+  db.create_result(rp);
+  EXPECT_EQ(db.in_progress_on_host(HostId{5}).size(), 1u);
+  EXPECT_EQ(db.in_progress_on_host(HostId{7}).size(), 0u);
+}
+
+TEST(Database, SnapshotRoundTrip) {
+  Database db;
+  const AppRecord& app = db.create_app("word_count");
+  HostRecord hp;
+  hp.node = NodeId{2};
+  hp.flops = 3e9;
+  hp.mr_capable = true;
+  hp.mr_endpoint = {NodeId{2}, 31416};
+  const HostRecord& host = db.create_host(hp);
+
+  FileRecord fp;
+  fp.name = "job_map_0_input";
+  fp.size = 50'000'000;
+  fp.digest = common::Hasher::of("x");
+  fp.on_server = true;
+  fp.reduce_partition = 3;
+  const FileRecord& file = db.create_file(fp);
+
+  MrJobRecord jp;
+  jp.name = "job";
+  jp.app = app.id;
+  jp.n_maps = 4;
+  jp.n_reducers = 2;
+  jp.map_first_sent = SimTime::seconds(12);
+  MapOutputLocation loc;
+  loc.map_index = 1;
+  loc.reduce_partition = 0;
+  loc.file = file.id;
+  loc.holder = host.id;
+  loc.endpoint = {NodeId{2}, 31416};
+  jp.map_outputs.push_back(loc);
+  const MrJobRecord& job = db.create_mr_job(jp);
+
+  WorkUnitRecord wp = wu_proto("job_map_0", app.id);
+  wp.input_files.push_back(file.id);
+  wp.mr_phase = MrPhase::kMap;
+  wp.mr_job = job.id;
+  wp.mr_index = 0;
+  wp.flops_est = 1.5e9;
+  const WorkUnitRecord& wu = db.create_workunit(wp);
+
+  ResultRecord rp;
+  rp.wu = wu.id;
+  rp.server_state = ServerState::kOver;
+  rp.outcome = Outcome::kSuccess;
+  rp.validate_state = ValidateState::kValid;
+  rp.host = host.id;
+  rp.sent_time = SimTime::seconds(5);
+  rp.received_time = SimTime::seconds(80);
+  rp.output_digest = common::Hasher::of("out");
+  rp.output_files.push_back(file.id);
+  const ResultRecord& res = db.create_result(rp);
+
+  const Database loaded = Database::load(db.save());
+
+  EXPECT_EQ(loaded.app(app.id).name, "word_count");
+  EXPECT_EQ(loaded.host(host.id).mr_endpoint.port, 31416);
+  EXPECT_TRUE(loaded.host(host.id).mr_capable);
+  EXPECT_EQ(loaded.file(file.id).size, 50'000'000);
+  EXPECT_EQ(loaded.file(file.id).reduce_partition, 3);
+  EXPECT_EQ(loaded.workunit(wu.id).flops_est, 1.5e9);
+  EXPECT_EQ(loaded.workunit(wu.id).mr_phase, MrPhase::kMap);
+  ASSERT_EQ(loaded.workunit(wu.id).input_files.size(), 1u);
+  EXPECT_EQ(loaded.result(res.id).output_digest, common::Hasher::of("out"));
+  EXPECT_EQ(loaded.result(res.id).received_time, SimTime::seconds(80));
+  EXPECT_EQ(loaded.mr_job(job.id).n_maps, 4);
+  EXPECT_EQ(loaded.mr_job(job.id).map_first_sent, SimTime::seconds(12));
+  ASSERT_EQ(loaded.mr_job(job.id).map_outputs.size(), 1u);
+  EXPECT_EQ(loaded.mr_job(job.id).map_outputs[0].endpoint.port, 31416);
+  EXPECT_EQ(loaded.results_of(wu.id).size(), 1u);
+  EXPECT_EQ(loaded.find_workunit_by_name("job_map_0"), wu.id);
+}
+
+TEST(Database, SnapshotPreservesIdAllocation) {
+  Database db;
+  const AppRecord& app = db.create_app("a");
+  db.create_workunit(wu_proto("w1", app.id));
+  Database loaded = Database::load(db.save());
+  const WorkUnitRecord& w2 = loaded.create_workunit(wu_proto("w2", app.id));
+  EXPECT_GT(w2.id.value(), loaded.find_workunit_by_name("w1")->value());
+}
+
+TEST(Database, LoadRejectsGarbage) {
+  EXPECT_THROW(Database::load("<not_a_db/>"), Error);
+  EXPECT_THROW(Database::load("garbage"), Error);
+}
+
+}  // namespace
+}  // namespace vcmr::db

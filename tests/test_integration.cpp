@@ -1,0 +1,88 @@
+// End-to-end integration tests: full jobs through the simulated cluster,
+// checked against the local threaded runtime as the correctness oracle.
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "mr/apps.h"
+#include "mr/local_runtime.h"
+
+namespace vcmr {
+namespace {
+
+std::string small_corpus(Bytes size, std::uint64_t seed) {
+  common::RngStreamFactory f(seed);
+  common::Rng rng = f.stream("corpus");
+  mr::ZipfOptions opts;
+  opts.vocabulary = 500;
+  return mr::ZipfCorpus(opts).generate(size, rng);
+}
+
+core::Scenario small_scenario(bool boinc_mr, const std::string& corpus) {
+  core::Scenario s;
+  s.seed = 42;
+  s.n_nodes = 6;
+  s.n_maps = 4;
+  s.n_reducers = 2;
+  s.input_text = corpus;
+  s.boinc_mr = boinc_mr;
+  s.time_limit = SimTime::hours(6);
+  return s;
+}
+
+TEST(Integration, PlainBoincWordCountMatchesLocalRuntime) {
+  const std::string corpus = small_corpus(200 * 1024, 7);
+  core::Cluster cluster(small_scenario(false, corpus));
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed)
+      << "job did not complete (failed=" << out.metrics.failed
+      << ", time limit hit=" << out.hit_time_limit << ")";
+
+  mr::register_builtin_apps();
+  const mr::MapReduceApp* app = mr::AppRegistry::instance().find("word_count");
+  ASSERT_NE(app, nullptr);
+  mr::LocalJobOptions lopts;
+  lopts.n_maps = 4;
+  lopts.n_reducers = 2;
+  const mr::LocalJobResult oracle = mr::run_local(*app, corpus, lopts);
+
+  const std::vector<mr::KeyValue> got = cluster.collect_output(out.job);
+  EXPECT_EQ(got, oracle.output);
+}
+
+TEST(Integration, BoincMrWordCountMatchesLocalRuntime) {
+  const std::string corpus = small_corpus(200 * 1024, 9);
+  core::Cluster cluster(small_scenario(true, corpus));
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+
+  mr::register_builtin_apps();
+  const mr::MapReduceApp* app = mr::AppRegistry::instance().find("word_count");
+  mr::LocalJobOptions lopts;
+  lopts.n_maps = 4;
+  lopts.n_reducers = 2;
+  const mr::LocalJobResult oracle = mr::run_local(*app, corpus, lopts);
+
+  EXPECT_EQ(cluster.collect_output(out.job), oracle.output);
+  // The reducers actually pulled intermediate data from mapper peers.
+  EXPECT_GT(out.interclient_bytes, 0);
+}
+
+TEST(Integration, ModelledModeCompletes) {
+  core::Scenario s;
+  s.seed = 1;
+  s.n_nodes = 10;
+  s.n_maps = 10;
+  s.n_reducers = 2;
+  s.input_size = 100LL * 1000 * 1000;  // 100 MB modelled
+  s.boinc_mr = false;
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  EXPECT_TRUE(out.metrics.completed);
+  EXPECT_GT(out.metrics.total_seconds, 0);
+  EXPECT_GT(out.metrics.map.avg_task_seconds, 0);
+  EXPECT_GT(out.metrics.reduce.avg_task_seconds, 0);
+}
+
+}  // namespace
+}  // namespace vcmr

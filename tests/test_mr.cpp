@@ -1,0 +1,354 @@
+// Tests for the MapReduce framework: KV wire format, partitioning, input
+// splitting, corpus generation, task execution in both modes, and the apps.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "mr/app.h"
+#include "mr/apps.h"
+#include "mr/dataset.h"
+#include "mr/keyvalue.h"
+#include "mr/partition.h"
+#include "mr/task.h"
+
+namespace vcmr::mr {
+namespace {
+
+TEST(KeyValue, SerializeParseRoundTrip) {
+  const std::vector<KeyValue> kvs{{"alpha", "1"}, {"beta", "2 extra"}, {"g", ""}};
+  const auto back = parse_kvs(serialize_kvs(kvs));
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].key, "alpha");
+  EXPECT_EQ(back[1].value, "2 extra");  // values may contain spaces
+  EXPECT_EQ(back[2].value, "");
+}
+
+TEST(KeyValue, PaperLineFormat) {
+  // §IV.A: "outputs one line per word, with the format 'word 1'".
+  EXPECT_EQ(serialize_kvs({{"test", "1"}}), "test 1\n");
+}
+
+TEST(KeyValue, MalformedLinesSkipped) {
+  const auto kvs = parse_kvs("good 1\nnoseparator\n 2\n\nalso fine\n");
+  ASSERT_EQ(kvs.size(), 2u);
+  EXPECT_EQ(kvs[0].key, "good");
+  EXPECT_EQ(kvs[1].key, "also");
+}
+
+TEST(KeyValue, GroupByKey) {
+  const auto groups =
+      group_by_key({{"b", "1"}, {"a", "2"}, {"b", "3"}, {"a", "4"}});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at("a"), (std::vector<std::string>{"2", "4"}));
+  EXPECT_EQ(groups.at("b"), (std::vector<std::string>{"1", "3"}));
+}
+
+TEST(Partition, StableAndInRange) {
+  for (const char* key : {"alpha", "beta", "gamma", "", "x"}) {
+    const int p = partition_of(key, 7);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 7);
+    EXPECT_EQ(p, partition_of(key, 7));
+  }
+}
+
+TEST(Partition, RoughlyBalanced) {
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) {
+    ++counts[static_cast<std::size_t>(
+        partition_of("word" + std::to_string(i), 8))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 80000.0, 0.125, 0.01);
+  }
+}
+
+TEST(Partition, InvalidReducerCountThrows) {
+  EXPECT_THROW(partition_of("x", 0), Error);
+}
+
+TEST(Dataset, SplitTextPreservesWords) {
+  const std::string text = "one two three four five six seven eight";
+  const auto chunks = split_text(text, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  // Concatenating the bodies (headers stripped) must reproduce every word.
+  std::string merged;
+  for (const auto& c : chunks) {
+    const auto eol = c.find('\n');
+    merged += c.substr(eol + 1);
+  }
+  EXPECT_EQ(common::split_ws(merged), common::split_ws(text));
+}
+
+TEST(Dataset, SplitTextHeadersCarryChunkIds) {
+  const auto chunks = split_text("a b c d", 2);
+  EXPECT_TRUE(chunks[0].starts_with("#chunk 0\n"));
+  EXPECT_TRUE(chunks[1].starts_with("#chunk 1\n"));
+}
+
+TEST(Dataset, SplitTextNeverCutsWords) {
+  const std::string text(1000, 'x');  // one giant word
+  const auto chunks = split_text(text, 4);
+  int nonempty = 0;
+  for (const auto& c : chunks) {
+    if (c.find('x') != std::string::npos) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 1);  // the word lands whole in a single chunk
+}
+
+TEST(Dataset, SplitSizesSumAndBalance) {
+  const auto sizes = split_sizes(1000, 3);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0] + sizes[1] + sizes[2], 1000);
+  for (const Bytes s : sizes) {
+    EXPECT_GE(s, 333);
+    EXPECT_LE(s, 334);
+  }
+}
+
+TEST(Dataset, ZipfCorpusDeterministicAndSized) {
+  common::Rng r1(5), r2(5);
+  const ZipfCorpus corpus;
+  const std::string a = corpus.generate(10000, r1);
+  const std::string b = corpus.generate(10000, r2);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a.size(), 10000u);
+  EXPECT_LT(a.size(), 11000u);
+  EXPECT_EQ(a.back(), '\n');
+}
+
+TEST(Dataset, ZipfWordForRankDistinct) {
+  std::set<std::string> words;
+  for (int i = 1; i <= 1000; ++i) words.insert(ZipfCorpus::word_for_rank(i));
+  EXPECT_EQ(words.size(), 1000u);
+}
+
+TEST(Apps, WordCountMapEmitsOnes) {
+  WordCountApp app;
+  Emitter out;
+  app.map("Hello, hello world!", out);
+  ASSERT_EQ(out.records().size(), 3u);
+  EXPECT_EQ(out.records()[0].key, "hello");  // lowercased
+  EXPECT_EQ(out.records()[0].value, "1");
+  EXPECT_EQ(out.records()[2].key, "world");
+}
+
+TEST(Apps, WordCountReduceSums) {
+  WordCountApp app;
+  Emitter out;
+  app.reduce("w", {"1", "2", "3"}, out);
+  ASSERT_EQ(out.records().size(), 1u);
+  EXPECT_EQ(out.records()[0].value, "6");
+}
+
+TEST(Apps, WordCountCombinerMatchesReduce) {
+  WordCountApp app;
+  Emitter c, r;
+  EXPECT_TRUE(app.combine("w", {"1", "1", "1"}, c));
+  app.reduce("w", {"1", "1", "1"}, r);
+  EXPECT_EQ(c.records(), r.records());
+}
+
+TEST(Apps, GrepCountsMatchingLines) {
+  GrepApp app("needle");
+  Emitter out;
+  app.map("no match\nneedle here\nalso needle\n", out);
+  ASSERT_EQ(out.records().size(), 1u);
+  EXPECT_EQ(out.records()[0].key, "needle");
+  EXPECT_EQ(out.records()[0].value, "2");
+}
+
+TEST(Apps, GrepNoMatchEmitsNothing) {
+  GrepApp app("absent");
+  Emitter out;
+  app.map("nothing to see\n", out);
+  EXPECT_TRUE(out.records().empty());
+}
+
+TEST(Apps, InvertedIndexUsesChunkIds) {
+  InvertedIndexApp app;
+  Emitter m0, m1;
+  app.map("#chunk 0\nfoo bar", m0);
+  app.map("#chunk 5\nfoo baz", m1);
+  std::vector<KeyValue> all = m0.take();
+  for (auto& kv : m1.take()) all.push_back(kv);
+  Emitter out;
+  for (auto& [k, vs] : group_by_key(all)) app.reduce(k, vs, out);
+  std::map<std::string, std::string> posting;
+  for (const auto& kv : out.records()) posting[kv.key] = kv.value;
+  EXPECT_EQ(posting.at("foo"), "0,5");
+  EXPECT_EQ(posting.at("bar"), "0");
+  EXPECT_EQ(posting.at("baz"), "5");
+}
+
+TEST(Apps, LengthHistogramBuckets) {
+  LengthHistogramApp app;
+  Emitter out;
+  app.map("a bb ccc", out);
+  ASSERT_EQ(out.records().size(), 3u);
+  EXPECT_EQ(out.records()[0].key, "len1");
+  EXPECT_EQ(out.records()[2].key, "len3");
+}
+
+TEST(Apps, RegistryHasBuiltins) {
+  register_builtin_apps();
+  auto& reg = AppRegistry::instance();
+  EXPECT_NE(reg.find("word_count"), nullptr);
+  EXPECT_NE(reg.find("grep"), nullptr);
+  EXPECT_NE(reg.find("inverted_index"), nullptr);
+  EXPECT_NE(reg.find("length_histogram"), nullptr);
+  EXPECT_EQ(reg.find("no_such_app"), nullptr);
+  register_builtin_apps();  // idempotent
+  EXPECT_GE(reg.names().size(), 4u);
+}
+
+TEST(Apps, PageRankSingleIteration) {
+  PageRankApp app;
+  // a -> b,c ; b -> c ; c -> a   (ranks all 1.0)
+  const std::string graph = "a 1.0|b,c\nb 1.0|c\nc 1.0|a\n";
+  Emitter m;
+  app.map(graph, m);
+  Emitter out;
+  for (auto& [k, vs] : group_by_key(m.records())) app.reduce(k, vs, out);
+  std::map<std::string, std::string> next;
+  for (const auto& kv : out.records()) next[kv.key] = kv.value;
+  // a receives c's full rank: 0.15 + 0.85*1.0 = 1.0
+  EXPECT_TRUE(next.at("a").starts_with("1.0000"));
+  // b receives half of a: 0.15 + 0.85*0.5 = 0.575
+  EXPECT_TRUE(next.at("b").starts_with("0.5750"));
+  // c receives half of a + all of b: 0.15 + 0.85*1.5 = 1.425
+  EXPECT_TRUE(next.at("c").starts_with("1.4250"));
+  // Link lists survive the iteration.
+  EXPECT_NE(next.at("a").find("|b,c"), std::string::npos);
+  EXPECT_NE(next.at("c").find("|a"), std::string::npos);
+}
+
+TEST(Apps, PageRankDanglingNodeKeepsBaseRank) {
+  PageRankApp app;
+  const std::string graph = "a 1.0|b\nb 1.0|\n";  // b has no out-links
+  Emitter m;
+  app.map(graph, m);
+  Emitter out;
+  for (auto& [k, vs] : group_by_key(m.records())) app.reduce(k, vs, out);
+  std::map<std::string, std::string> next;
+  for (const auto& kv : out.records()) next[kv.key] = kv.value;
+  // a gets nothing: 0.15; b gets all of a: 1.0.
+  EXPECT_TRUE(next.at("a").starts_with("0.1500"));
+  EXPECT_TRUE(next.at("b").starts_with("1.0000"));
+}
+
+TEST(Dataset, SyntheticGraphWellFormed) {
+  common::Rng rng(6);
+  const std::string g = synthetic_graph(50, 3, rng);
+  const auto lines = common::split(g, '\n');
+  int nodes = 0;
+  for (const auto& line : lines) {
+    if (line.empty()) continue;
+    ++nodes;
+    const auto sep = line.find(' ');
+    ASSERT_NE(sep, std::string::npos) << line;
+    const auto bar = line.find('|', sep);
+    ASSERT_NE(bar, std::string::npos) << line;
+    const std::string node = line.substr(0, sep);
+    const std::string links = line.substr(bar + 1);
+    ASSERT_FALSE(links.empty()) << "every node has out-links";
+    for (const auto& t : common::split(links, ',')) {
+      EXPECT_NE(t, node) << "no self-loops";
+      EXPECT_TRUE(t.starts_with("n"));
+    }
+  }
+  EXPECT_EQ(nodes, 50);
+}
+
+TEST(Dataset, SyntheticGraphDeterministic) {
+  common::Rng r1(9), r2(9);
+  EXPECT_EQ(synthetic_graph(30, 2, r1), synthetic_graph(30, 2, r2));
+}
+
+TEST(Task, MapMaterialisedPartitionsByHash) {
+  WordCountApp app;
+  const auto input = FilePayload::of_content("aa bb cc dd aa");
+  const MapTaskResult r = run_map_task(app, input, 3, "t0");
+  ASSERT_EQ(r.partitions.size(), 3u);
+  // Every record landed in the partition its key hashes to.
+  for (int p = 0; p < 3; ++p) {
+    for (const auto& kv :
+         parse_kvs(*r.partitions[static_cast<std::size_t>(p)].content)) {
+      EXPECT_EQ(partition_of(kv.key, 3), p);
+    }
+  }
+  EXPECT_GT(r.flops, 0);
+}
+
+TEST(Task, MapReplicasAgree) {
+  WordCountApp app;
+  const auto input = FilePayload::of_content("the same input text");
+  const MapTaskResult a = run_map_task(app, input, 2, "wu_tag");
+  const MapTaskResult b = run_map_task(app, input, 2, "wu_tag");
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(*a.partitions[0].content, *b.partitions[0].content);
+}
+
+TEST(Task, MapModelledSizesFollowCostModel) {
+  WordCountApp app;
+  const auto input = FilePayload::of_size(1'000'000, common::Hasher::of("i"));
+  const MapTaskResult r = run_map_task(app, input, 4, "wu_tag");
+  Bytes total = 0;
+  for (const auto& p : r.partitions) {
+    EXPECT_FALSE(p.materialised());
+    total += p.size;
+  }
+  EXPECT_NEAR(static_cast<double>(total),
+              1'000'000 * app.cost().map_output_ratio, 4.0);
+}
+
+TEST(Task, ModelledReplicasAgreeDifferentTagsDiffer) {
+  WordCountApp app;
+  const auto input = FilePayload::of_size(1000, common::Hasher::of("i"));
+  const MapTaskResult a = run_map_task(app, input, 2, "wu0");
+  const MapTaskResult b = run_map_task(app, input, 2, "wu0");
+  const MapTaskResult c = run_map_task(app, input, 2, "wu1");
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(Task, ReduceMaterialisedSumsAcrossMaps) {
+  WordCountApp app;
+  std::vector<FilePayload> ins;
+  ins.push_back(FilePayload::of_content("w 2\n"));
+  ins.push_back(FilePayload::of_content("w 3\nz 1\n"));
+  const ReduceTaskResult r = run_reduce_task(app, ins, "r0");
+  const auto kvs = parse_kvs(*r.output.content);
+  ASSERT_EQ(kvs.size(), 2u);
+  EXPECT_EQ(kvs[0].key, "w");
+  EXPECT_EQ(kvs[0].value, "5");
+  EXPECT_EQ(kvs[1].value, "1");
+}
+
+TEST(Task, ReduceModelledWhenAnyInputUnmaterialised) {
+  WordCountApp app;
+  std::vector<FilePayload> ins;
+  ins.push_back(FilePayload::of_content("w 2\n"));
+  ins.push_back(FilePayload::of_size(1000, common::Hasher::of("m")));
+  const ReduceTaskResult r = run_reduce_task(app, ins, "r0");
+  EXPECT_FALSE(r.output.materialised());
+  EXPECT_GT(r.flops, 0);
+}
+
+TEST(Task, CombinerShrinksWordCountOutput) {
+  WordCountApp app;
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += "same word again ";
+  const auto input = FilePayload::of_content(text);
+  const MapTaskResult with =
+      run_map_task(app, input, 1, "t", /*use_combiner=*/true);
+  const MapTaskResult without =
+      run_map_task(app, input, 1, "t", /*use_combiner=*/false);
+  EXPECT_LT(with.partitions[0].size, without.partitions[0].size / 10);
+}
+
+}  // namespace
+}  // namespace vcmr::mr

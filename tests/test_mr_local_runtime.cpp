@@ -1,0 +1,174 @@
+// Tests for the in-process threaded MapReduce runtime, including the
+// invariants that make it usable as the correctness oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "mr/apps.h"
+#include "mr/dataset.h"
+#include "mr/local_runtime.h"
+
+namespace vcmr::mr {
+namespace {
+
+std::map<std::string, std::int64_t> brute_force_counts(const std::string& text) {
+  std::map<std::string, std::int64_t> counts;
+  std::string word;
+  auto flush = [&] {
+    if (!word.empty()) {
+      ++counts[word];
+      word.clear();
+    }
+  };
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      word += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return counts;
+}
+
+TEST(LocalRuntime, WordCountMatchesBruteForce) {
+  common::Rng rng(3);
+  ZipfOptions zo;
+  zo.vocabulary = 200;
+  const std::string text = ZipfCorpus(zo).generate(50000, rng);
+  WordCountApp app;
+  const LocalJobResult res = run_local(app, text, {4, 3, 4, true});
+
+  const auto expected = brute_force_counts(text);
+  // The runtime's output adds the "#chunk i" header tokens; every corpus
+  // word must match the brute-force count exactly.
+  ASSERT_GE(res.output.size(), expected.size());
+  std::map<std::string, std::int64_t> got;
+  for (const auto& kv : res.output) {
+    std::int64_t v = 0;
+    ASSERT_TRUE(common::parse_i64(kv.value, &v));
+    got[kv.key] += v;
+  }
+  for (const auto& [word, count] : expected) {
+    EXPECT_EQ(got[word], count) << "word: " << word;
+  }
+}
+
+TEST(LocalRuntime, SingleThreadEqualsMultiThread) {
+  common::Rng rng(4);
+  const std::string text = ZipfCorpus().generate(30000, rng);
+  WordCountApp app;
+  const auto seq = run_local(app, text, {6, 3, 1, true});
+  const auto par = run_local(app, text, {6, 3, 8, true});
+  EXPECT_EQ(seq.output, par.output);
+}
+
+TEST(LocalRuntime, CombinerDoesNotChangeOutput) {
+  common::Rng rng(5);
+  const std::string text = ZipfCorpus().generate(30000, rng);
+  WordCountApp app;
+  const auto with = run_local(app, text, {4, 2, 4, true});
+  const auto without = run_local(app, text, {4, 2, 4, false});
+  EXPECT_EQ(with.output, without.output);
+  EXPECT_LT(with.intermediate_bytes, without.intermediate_bytes);
+}
+
+TEST(LocalRuntime, PartitionCountDoesNotChangeOutput) {
+  common::Rng rng(6);
+  const std::string text = ZipfCorpus().generate(20000, rng);
+  WordCountApp app;
+  const auto r1 = run_local(app, text, {4, 1, 4, true});
+  const auto r5 = run_local(app, text, {4, 5, 4, true});
+  const auto r13 = run_local(app, text, {4, 13, 4, true});
+  EXPECT_EQ(r1.output, r5.output);
+  EXPECT_EQ(r5.output, r13.output);
+}
+
+TEST(LocalRuntime, MapCountDoesNotChangeTotals) {
+  common::Rng rng(7);
+  const std::string text = ZipfCorpus().generate(20000, rng);
+  WordCountApp app;
+  const auto m2 = run_local(app, text, {2, 3, 4, true});
+  const auto m9 = run_local(app, text, {9, 3, 4, true});
+  // Chunk-id words differ ("#chunk 0".."#chunk N"), data words must not.
+  std::map<std::string, std::string> a, b;
+  for (const auto& kv : m2.output) a[kv.key] = kv.value;
+  for (const auto& kv : m9.output) b[kv.key] = kv.value;
+  for (const auto& [k, v] : a) {
+    std::int64_t dummy = 0;
+    if (k == "chunk" || common::parse_i64(k, &dummy)) continue;
+    EXPECT_EQ(b[k], v) << "key " << k;
+  }
+}
+
+TEST(LocalRuntime, ReducerOutputsDisjointKeys) {
+  common::Rng rng(8);
+  const std::string text = ZipfCorpus().generate(20000, rng);
+  WordCountApp app;
+  const auto res = run_local(app, text, {4, 4, 2, true});
+  std::set<std::string> seen;
+  for (const auto& out : res.reduce_outputs) {
+    for (const auto& kv : parse_kvs(out)) {
+      EXPECT_TRUE(seen.insert(kv.key).second) << "duplicate key " << kv.key;
+    }
+  }
+}
+
+TEST(LocalRuntime, GrepEndToEnd) {
+  GrepApp app("badi");
+  common::Rng rng(9);
+  const std::string text = ZipfCorpus().generate(50000, rng);
+  const auto res = run_local(app, text, {3, 1, 2, true});
+  // The corpus is Zipf over syllable words; "badi" (a rank word) appears.
+  ASSERT_EQ(res.output.size(), 1u);
+  std::int64_t n = 0;
+  ASSERT_TRUE(common::parse_i64(res.output[0].value, &n));
+  EXPECT_GT(n, 0);
+}
+
+TEST(LocalRuntime, ByteAccounting) {
+  common::Rng rng(10);
+  const std::string text = ZipfCorpus().generate(10000, rng);
+  WordCountApp app;
+  const auto res = run_local(app, text, {4, 2, 2, false});
+  EXPECT_EQ(res.input_bytes, static_cast<Bytes>(text.size()));
+  EXPECT_GT(res.intermediate_bytes, 0);
+  EXPECT_GT(res.output_bytes, 0);
+  Bytes sum = 0;
+  for (const auto& o : res.reduce_outputs) sum += static_cast<Bytes>(o.size());
+  EXPECT_EQ(sum, res.output_bytes);
+}
+
+TEST(LocalRuntime, InvalidOptionsThrow) {
+  WordCountApp app;
+  LocalJobOptions bad;
+  bad.n_maps = 0;
+  EXPECT_THROW(run_local(app, "x", bad), Error);
+  bad = {};
+  bad.n_reducers = 0;
+  EXPECT_THROW(run_local(app, "x", bad), Error);
+  bad = {};
+  bad.n_threads = 0;
+  EXPECT_THROW(run_local(app, "x", bad), Error);
+}
+
+// Parameterized sweep: output identical across thread counts.
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, DeterministicOutput) {
+  common::Rng rng(11);
+  const std::string text = ZipfCorpus().generate(15000, rng);
+  WordCountApp app;
+  const auto base = run_local(app, text, {5, 3, 1, true});
+  const auto got = run_local(app, text, {5, 3, GetParam(), true});
+  EXPECT_EQ(base.output, got.output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace vcmr::mr

@@ -1,0 +1,183 @@
+// Property tests over the network substrate: randomized flow workloads
+// must conserve bytes, never over-allocate a link, and replay identically
+// for the same seed.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace vcmr::net {
+namespace {
+
+struct WorkloadResult {
+  Bytes completed_bytes = 0;
+  int completed = 0;
+  int failed = 0;
+  double finish_seconds = 0;
+  std::vector<Bytes> per_node_sent;
+};
+
+/// Drives a random flow workload: n nodes, k flows with random endpoints,
+/// sizes, priorities, and start times.
+WorkloadResult run_workload(std::uint64_t seed, int n_nodes, int n_flows,
+                            double failure_rate = 0.0) {
+  sim::Simulation sim(seed);
+  Network net(sim);
+  common::Rng rng = sim.rng_stream("workload");
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n_nodes; ++i) {
+    NodeConfig c;
+    c.up_bps = rng.uniform(1e6, 20e6);
+    c.down_bps = rng.uniform(1e6, 20e6);
+    c.latency = SimTime::millis(rng.uniform_int(1, 50));
+    nodes.push_back(net.add_node(c));
+  }
+  net.set_flow_failure_rate(failure_rate);
+
+  WorkloadResult res;
+  for (int i = 0; i < n_flows; ++i) {
+    const auto src = static_cast<std::size_t>(rng.uniform_int(0, n_nodes - 1));
+    auto dst = static_cast<std::size_t>(rng.uniform_int(0, n_nodes - 1));
+    if (dst == src) dst = (dst + 1) % static_cast<std::size_t>(n_nodes);
+    const Bytes bytes = rng.uniform_int(1000, 5'000'000);
+    const SimTime start = SimTime::seconds(rng.uniform(0, 5));
+    const bool background = rng.chance(0.3);
+    sim.at(start, [&, src, dst, bytes, background] {
+      FlowSpec fs;
+      fs.src = nodes[src];
+      fs.dst = nodes[dst];
+      fs.bytes = bytes;
+      fs.priority = background ? FlowPriority::kBackground
+                               : FlowPriority::kForeground;
+      fs.on_complete = [&, bytes] {
+        ++res.completed;
+        res.completed_bytes += bytes;
+      };
+      fs.on_fail = [&](NetError) { ++res.failed; };
+      net.start_flow(std::move(fs));
+    });
+  }
+  sim.run();
+  res.finish_seconds = sim.now().as_seconds();
+  for (const NodeId n : nodes) {
+    res.per_node_sent.push_back(net.traffic(n).bytes_sent);
+  }
+
+  // Conservation: every flow either completed or failed, and completed
+  // bytes are fully accounted in per-node counters.
+  EXPECT_EQ(res.completed + res.failed, n_flows);
+  Bytes total_sent = 0;
+  for (const Bytes b : res.per_node_sent) total_sent += b;
+  if (failure_rate == 0.0) {
+    EXPECT_EQ(total_sent, res.completed_bytes);
+  } else {
+    EXPECT_GE(total_sent, res.completed_bytes);  // partial failed progress
+  }
+  return res;
+}
+
+class NetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetFuzz, RandomWorkloadConservesBytes) {
+  const WorkloadResult res = run_workload(GetParam(), 8, 60);
+  EXPECT_EQ(res.failed, 0);
+  EXPECT_GT(res.completed_bytes, 0);
+}
+
+TEST_P(NetFuzz, RandomWorkloadWithFailures) {
+  const WorkloadResult res = run_workload(GetParam(), 8, 60, 0.3);
+  EXPECT_GT(res.failed, 0);
+  EXPECT_GT(res.completed, 0);
+}
+
+TEST_P(NetFuzz, ReplayIsBitIdentical) {
+  const WorkloadResult a = run_workload(GetParam(), 10, 80);
+  const WorkloadResult b = run_workload(GetParam(), 10, 80);
+  EXPECT_EQ(a.completed_bytes, b.completed_bytes);
+  EXPECT_EQ(a.finish_seconds, b.finish_seconds);
+  EXPECT_EQ(a.per_node_sent, b.per_node_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetFuzz,
+                         ::testing::Values(1, 5, 17, 23, 99, 12345));
+
+TEST(NetProperty, AllocationNeverExceedsCapacity) {
+  // At every reallocation instant, each node's outgoing allocation must be
+  // within its uplink capacity. Sample during a busy random workload.
+  sim::Simulation sim(7);
+  Network net(sim);
+  common::Rng rng = sim.rng_stream("capcheck");
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) {
+    NodeConfig c;
+    c.up_bps = 1e6;
+    c.down_bps = 1.5e6;
+    nodes.push_back(net.add_node(c));
+  }
+  for (int i = 0; i < 40; ++i) {
+    const auto src = static_cast<std::size_t>(rng.uniform_int(0, 5));
+    const auto dst = (src + 1 + static_cast<std::size_t>(rng.uniform_int(0, 4))) % 6;
+    sim.at(SimTime::seconds(rng.uniform(0, 3)), [&, src, dst] {
+      FlowSpec fs;
+      fs.src = nodes[src];
+      fs.dst = nodes[dst];
+      fs.bytes = 2'000'000;
+      net.start_flow(std::move(fs));
+    });
+  }
+  // Sample capacities every 100 ms for 20 s.
+  std::function<void()> check = [&] {
+    for (const NodeId n : nodes) {
+      EXPECT_LE(net.instantaneous_tx_bps(n), 1e6 * 1.0001);
+      EXPECT_LE(net.instantaneous_rx_bps(n), 1.5e6 * 1.0001);
+    }
+    if (sim.now() < SimTime::seconds(20)) {
+      sim.after(SimTime::millis(100), check);
+    }
+  };
+  sim.after(SimTime::zero(), check);
+  sim.run();
+}
+
+TEST(NetProperty, BackgroundNeverStealsFromForeground) {
+  // Whatever the mix, foreground flows collectively get at least as much
+  // as they would under foreground-only allocation on the same links.
+  sim::Simulation sim(11);
+  Network net(sim);
+  NodeConfig c;
+  c.up_bps = 8e6;
+  const NodeId server = net.add_node(c);
+  std::vector<NodeId> sinks;
+  for (int i = 0; i < 4; ++i) sinks.push_back(net.add_node(NodeConfig{}));
+
+  std::vector<FlowId> fg, bg;
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec fs;
+    fs.src = server;
+    fs.dst = sinks[static_cast<std::size_t>(i)];
+    fs.bytes = 1'000'000'000;
+    fg.push_back(net.start_flow(std::move(fs)));
+  }
+  for (int i = 2; i < 4; ++i) {
+    FlowSpec fs;
+    fs.src = server;
+    fs.dst = sinks[static_cast<std::size_t>(i)];
+    fs.bytes = 1'000'000'000;
+    fs.priority = FlowPriority::kBackground;
+    bg.push_back(net.start_flow(std::move(fs)));
+  }
+  double fg_rate = 0, bg_rate = 0;
+  for (const FlowId id : fg) fg_rate += net.flow_rate(id);
+  for (const FlowId id : bg) bg_rate += net.flow_rate(id);
+  // Foreground takes the entire uplink; background is starved while
+  // foreground demand saturates the link.
+  EXPECT_NEAR(fg_rate, 8e6, 1);
+  EXPECT_NEAR(bg_rate, 0, 1);
+}
+
+}  // namespace
+}  // namespace vcmr::net

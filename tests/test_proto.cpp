@@ -1,0 +1,269 @@
+// Round-trip tests for the scheduler RPC wire format.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "proto/messages.h"
+
+namespace vcmr::proto {
+namespace {
+
+TEST(Proto, RequestRoundTrip) {
+  SchedulerRequest req;
+  req.host_id = 7;
+  req.tasks_queued = 2;
+  req.remaining_work_seconds = 123.5;
+  req.work_request_seconds = 600;
+  req.mr_capable = true;
+  req.serving_endpoint = {NodeId{4}, 31416};
+
+  ReportedResult rep;
+  rep.result_id = 55;
+  rep.name = "job_map_3_1";
+  rep.success = true;
+  rep.digest = common::Hasher::of("output");
+  rep.output_bytes = 1234;
+  OutputFileInfo f;
+  f.name = "job_map_3_1.part0";
+  f.size = 700;
+  f.digest = common::Hasher::of("p0");
+  f.uploaded = true;
+  f.reduce_partition = 0;
+  rep.outputs.push_back(f);
+  req.reports.push_back(rep);
+
+  const SchedulerRequest back = request_from_xml(to_xml(req));
+  EXPECT_EQ(back.host_id, 7);
+  EXPECT_EQ(back.tasks_queued, 2);
+  EXPECT_DOUBLE_EQ(back.remaining_work_seconds, 123.5);
+  EXPECT_DOUBLE_EQ(back.work_request_seconds, 600);
+  EXPECT_TRUE(back.mr_capable);
+  EXPECT_EQ(back.serving_endpoint.node, NodeId{4});
+  EXPECT_EQ(back.serving_endpoint.port, 31416);
+  ASSERT_EQ(back.reports.size(), 1u);
+  EXPECT_EQ(back.reports[0].result_id, 55);
+  EXPECT_EQ(back.reports[0].name, "job_map_3_1");
+  EXPECT_TRUE(back.reports[0].success);
+  EXPECT_EQ(back.reports[0].digest, common::Hasher::of("output"));
+  ASSERT_EQ(back.reports[0].outputs.size(), 1u);
+  EXPECT_EQ(back.reports[0].outputs[0].name, "job_map_3_1.part0");
+  EXPECT_EQ(back.reports[0].outputs[0].reduce_partition, 0);
+  EXPECT_TRUE(back.reports[0].outputs[0].uploaded);
+}
+
+TEST(Proto, ReplyRoundTrip) {
+  SchedulerReply reply;
+  reply.request_delay = SimTime::seconds(6);
+  reply.had_work = true;
+  reply.report_map_results_immediately = true;
+
+  AssignedTask t;
+  t.result_id = 9;
+  t.result_name = "job_reduce_1_0";
+  t.wu_name = "job_reduce_1";
+  t.app = "word_count";
+  t.phase = TaskPhase::kReduce;
+  t.job_id = 1;
+  t.mr_index = 1;
+  t.n_maps = 4;
+  t.n_reducers = 2;
+  t.flops_estimate = 2.5e9;
+  t.report_deadline = SimTime::hours(4);
+  t.inputs_complete = false;
+  InputFileSpec in;
+  in.name = "job_map_0_0.part1";
+  in.size = 500;
+  in.on_server = true;
+  PeerLocation p;
+  p.map_index = 0;
+  p.file_name = in.name;
+  p.size = 500;
+  p.holder_host = 3;
+  p.endpoint = {NodeId{5}, 31416};
+  p.on_server = true;
+  in.peers.push_back(p);
+  t.inputs.push_back(in);
+  reply.tasks.push_back(t);
+
+  LocationUpdate upd;
+  upd.result_id = 9;
+  upd.complete = true;
+  upd.peers.push_back(p);
+  reply.location_updates.push_back(upd);
+
+  const SchedulerReply back = reply_from_xml(to_xml(reply));
+  EXPECT_EQ(back.request_delay, SimTime::seconds(6));
+  EXPECT_TRUE(back.had_work);
+  EXPECT_TRUE(back.report_map_results_immediately);
+  ASSERT_EQ(back.tasks.size(), 1u);
+  const AssignedTask& bt = back.tasks[0];
+  EXPECT_EQ(bt.result_id, 9);
+  EXPECT_EQ(bt.phase, TaskPhase::kReduce);
+  EXPECT_EQ(bt.n_maps, 4);
+  EXPECT_DOUBLE_EQ(bt.flops_estimate, 2.5e9);
+  EXPECT_EQ(bt.report_deadline, SimTime::hours(4));
+  EXPECT_FALSE(bt.inputs_complete);
+  ASSERT_EQ(bt.inputs.size(), 1u);
+  ASSERT_EQ(bt.inputs[0].peers.size(), 1u);
+  EXPECT_EQ(bt.inputs[0].peers[0].endpoint.node, NodeId{5});
+  EXPECT_TRUE(bt.inputs[0].peers[0].on_server);
+  ASSERT_EQ(back.location_updates.size(), 1u);
+  EXPECT_TRUE(back.location_updates[0].complete);
+}
+
+TEST(Proto, EmptyMessagesRoundTrip) {
+  const SchedulerRequest req = request_from_xml(to_xml(SchedulerRequest{}));
+  EXPECT_EQ(req.host_id, -1);
+  EXPECT_TRUE(req.reports.empty());
+  const SchedulerReply rep = reply_from_xml(to_xml(SchedulerReply{}));
+  EXPECT_FALSE(rep.had_work);
+  EXPECT_TRUE(rep.tasks.empty());
+}
+
+TEST(Proto, ReplySizeGrowsWithLocations) {
+  // The reduce reply carries one <peer> per mapper; the serialized size —
+  // what the network charges — must scale with the map count.
+  SchedulerReply small, big;
+  AssignedTask t;
+  t.phase = TaskPhase::kReduce;
+  for (int i = 0; i < 2; ++i) {
+    InputFileSpec in;
+    in.name = "f" + std::to_string(i);
+    t.inputs.push_back(in);
+  }
+  small.tasks.push_back(t);
+  for (int i = 2; i < 40; ++i) {
+    InputFileSpec in;
+    in.name = "f" + std::to_string(i);
+    t.inputs.push_back(in);
+  }
+  big.tasks.push_back(t);
+  EXPECT_GT(to_xml(big).size(), 3 * to_xml(small).size());
+}
+
+// Property: randomly generated messages survive the XML round trip intact.
+class ProtoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtoFuzz, RandomRequestRoundTrips) {
+  common::Rng rng(GetParam());
+  SchedulerRequest req;
+  req.host_id = rng.uniform_int(0, 1000);
+  req.tasks_queued = static_cast<int>(rng.uniform_int(0, 50));
+  req.remaining_work_seconds = rng.uniform(0, 1e6);
+  req.work_request_seconds = rng.uniform(0, 1e5);
+  req.mr_capable = rng.chance(0.5);
+  req.serving_endpoint = {NodeId{rng.uniform_int(0, 99)},
+                          static_cast<int>(rng.uniform_int(1, 65535))};
+  const int n_reports = static_cast<int>(rng.uniform_int(0, 5));
+  for (int i = 0; i < n_reports; ++i) {
+    ReportedResult rep;
+    rep.result_id = rng.uniform_int(1, 10000);
+    rep.name = "result_" + std::to_string(rng.uniform_int(0, 999));
+    rep.success = rng.chance(0.9);
+    rep.digest = {rng.next_u64(), rng.next_u64()};
+    rep.output_bytes = rng.uniform_int(0, 1'000'000'000);
+    rep.claimed_credit = rng.uniform(0, 100);
+    const int n_files = static_cast<int>(rng.uniform_int(0, 4));
+    for (int k = 0; k < n_files; ++k) {
+      OutputFileInfo fo;
+      fo.name = rep.name + ".part" + std::to_string(k);
+      fo.size = rng.uniform_int(0, 1'000'000);
+      fo.digest = {rng.next_u64(), rng.next_u64()};
+      fo.uploaded = rng.chance(0.5);
+      fo.reduce_partition = k;
+      rep.outputs.push_back(fo);
+    }
+    req.reports.push_back(std::move(rep));
+  }
+
+  const SchedulerRequest back = request_from_xml(to_xml(req));
+  EXPECT_EQ(back.host_id, req.host_id);
+  EXPECT_EQ(back.tasks_queued, req.tasks_queued);
+  EXPECT_DOUBLE_EQ(back.remaining_work_seconds, req.remaining_work_seconds);
+  EXPECT_EQ(back.serving_endpoint, req.serving_endpoint);
+  ASSERT_EQ(back.reports.size(), req.reports.size());
+  for (std::size_t i = 0; i < req.reports.size(); ++i) {
+    EXPECT_EQ(back.reports[i].result_id, req.reports[i].result_id);
+    EXPECT_EQ(back.reports[i].digest, req.reports[i].digest);
+    EXPECT_DOUBLE_EQ(back.reports[i].claimed_credit,
+                     req.reports[i].claimed_credit);
+    ASSERT_EQ(back.reports[i].outputs.size(), req.reports[i].outputs.size());
+    for (std::size_t k = 0; k < req.reports[i].outputs.size(); ++k) {
+      EXPECT_EQ(back.reports[i].outputs[k].digest,
+                req.reports[i].outputs[k].digest);
+      EXPECT_EQ(back.reports[i].outputs[k].size,
+                req.reports[i].outputs[k].size);
+    }
+  }
+}
+
+TEST_P(ProtoFuzz, RandomReplyRoundTrips) {
+  common::Rng rng(GetParam() + 1000);
+  SchedulerReply reply;
+  reply.request_delay = SimTime::micros(rng.uniform_int(0, 100'000'000));
+  reply.had_work = rng.chance(0.5);
+  reply.report_map_results_immediately = rng.chance(0.3);
+  const int n_tasks = static_cast<int>(rng.uniform_int(0, 4));
+  for (int i = 0; i < n_tasks; ++i) {
+    AssignedTask t;
+    t.result_id = rng.uniform_int(1, 10000);
+    t.result_name = "r" + std::to_string(i);
+    t.wu_name = "w" + std::to_string(i);
+    t.app = rng.chance(0.5) ? "word_count" : "grep";
+    t.phase = static_cast<TaskPhase>(rng.uniform_int(0, 2));
+    t.n_maps = static_cast<int>(rng.uniform_int(1, 40));
+    t.n_reducers = static_cast<int>(rng.uniform_int(1, 10));
+    t.flops_estimate = rng.uniform(1e6, 1e12);
+    t.report_deadline = SimTime::micros(rng.uniform_int(0, 1'000'000'000));
+    t.inputs_complete = rng.chance(0.8);
+    const int n_inputs = static_cast<int>(rng.uniform_int(0, 6));
+    for (int k = 0; k < n_inputs; ++k) {
+      InputFileSpec in;
+      in.name = "f" + std::to_string(k);
+      in.size = rng.uniform_int(0, 1'000'000'000);
+      in.on_server = rng.chance(0.5);
+      if (rng.chance(0.7)) {
+        PeerLocation p;
+        p.map_index = k;
+        p.file_name = in.name;
+        p.size = in.size;
+        p.holder_host = rng.uniform_int(1, 50);
+        p.endpoint = {NodeId{rng.uniform_int(0, 99)}, 31416};
+        p.on_server = in.on_server;
+        in.peers.push_back(p);
+      }
+      t.inputs.push_back(std::move(in));
+    }
+    reply.tasks.push_back(std::move(t));
+  }
+
+  const SchedulerReply back = reply_from_xml(to_xml(reply));
+  EXPECT_EQ(back.request_delay, reply.request_delay);
+  EXPECT_EQ(back.had_work, reply.had_work);
+  ASSERT_EQ(back.tasks.size(), reply.tasks.size());
+  for (std::size_t i = 0; i < reply.tasks.size(); ++i) {
+    EXPECT_EQ(back.tasks[i].result_id, reply.tasks[i].result_id);
+    EXPECT_EQ(back.tasks[i].phase, reply.tasks[i].phase);
+    EXPECT_DOUBLE_EQ(back.tasks[i].flops_estimate,
+                     reply.tasks[i].flops_estimate);
+    EXPECT_EQ(back.tasks[i].report_deadline, reply.tasks[i].report_deadline);
+    ASSERT_EQ(back.tasks[i].inputs.size(), reply.tasks[i].inputs.size());
+    for (std::size_t k = 0; k < reply.tasks[i].inputs.size(); ++k) {
+      EXPECT_EQ(back.tasks[i].inputs[k].size, reply.tasks[i].inputs[k].size);
+      EXPECT_EQ(back.tasks[i].inputs[k].peers.size(),
+                reply.tasks[i].inputs[k].peers.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtoFuzz,
+                         ::testing::Values(1, 7, 42, 99, 1234, 777777));
+
+TEST(Proto, BadXmlThrows) {
+  EXPECT_THROW(request_from_xml("<wrong_root/>"), vcmr::Error);
+  EXPECT_THROW(reply_from_xml("not xml"), vcmr::Error);
+}
+
+}  // namespace
+}  // namespace vcmr::proto

@@ -1,0 +1,364 @@
+// Tests for config parsing, WU templates, and the daemon state machines
+// (feeder, transitioner, validator, assimilator) driven directly against a
+// database — no network involved.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "db/database.h"
+#include "server/assimilator.h"
+#include "server/config.h"
+#include "server/feeder.h"
+#include "server/templates.h"
+#include "server/transitioner.h"
+#include "server/validator.h"
+
+namespace vcmr::server {
+namespace {
+
+TEST(Config, ParseMrJobtracker) {
+  const std::string xml = R"(<mr_jobtracker>
+    <n_maps>30</n_maps>
+    <n_reducers>7</n_reducers>
+    <target_nresults>3</target_nresults>
+    <min_quorum>2</min_quorum>
+    <mirror_map_outputs>0</mirror_map_outputs>
+    <pipelined_reduce>1</pipelined_reduce>
+  </mr_jobtracker>)";
+  const ProjectConfig cfg = parse_mr_jobtracker(xml);
+  EXPECT_EQ(cfg.default_n_maps, 30);
+  EXPECT_EQ(cfg.default_n_reducers, 7);
+  EXPECT_EQ(cfg.target_nresults, 3);
+  EXPECT_EQ(cfg.min_quorum, 2);
+  EXPECT_FALSE(cfg.mirror_map_outputs);
+  EXPECT_TRUE(cfg.pipelined_reduce);
+}
+
+TEST(Config, RoundTripThroughXml) {
+  ProjectConfig cfg;
+  cfg.default_n_maps = 40;
+  cfg.default_n_reducers = 5;
+  cfg.report_map_results_immediately = true;
+  const ProjectConfig back = parse_mr_jobtracker(mr_jobtracker_xml(cfg));
+  EXPECT_EQ(back.default_n_maps, 40);
+  EXPECT_EQ(back.default_n_reducers, 5);
+  EXPECT_TRUE(back.report_map_results_immediately);
+}
+
+TEST(Config, RejectsInvalid) {
+  EXPECT_THROW(parse_mr_jobtracker("<wrong/>"), Error);
+  EXPECT_THROW(parse_mr_jobtracker("<mr_jobtracker><n_maps>0</n_maps></mr_jobtracker>"),
+               Error);
+  EXPECT_THROW(parse_mr_jobtracker(
+                   "<mr_jobtracker><min_quorum>5</min_quorum>"
+                   "<target_nresults>2</target_nresults></mr_jobtracker>"),
+               Error);
+}
+
+TEST(Templates, RenderParseRoundTrip) {
+  WuTemplate t;
+  t.wu_name = "job_map_3";
+  t.app_name = "word_count";
+  t.input_files.push_back({"job_map_3_input", 50'000'000});
+  t.target_nresults = 2;
+  t.min_quorum = 2;
+  t.delay_bound = SimTime::hours(4);
+  t.job_name = "job";
+  t.phase = 1;
+  t.index = 3;
+  t.n_maps = 20;
+  t.n_reducers = 5;
+  const WuTemplate back = WuTemplate::parse(t.render());
+  EXPECT_EQ(back.wu_name, "job_map_3");
+  EXPECT_EQ(back.app_name, "word_count");
+  ASSERT_EQ(back.input_files.size(), 1u);
+  EXPECT_EQ(back.input_files[0].size, 50'000'000);
+  EXPECT_EQ(back.job_name, "job");
+  EXPECT_EQ(back.phase, 1);
+  EXPECT_EQ(back.index, 3);
+  EXPECT_EQ(back.n_reducers, 5);
+  EXPECT_EQ(back.delay_bound, SimTime::hours(4));
+}
+
+TEST(Templates, PlainWorkUnitHasNoMrTag) {
+  WuTemplate t;
+  t.wu_name = "ordinary";
+  t.app_name = "app";
+  const std::string xml = t.render();
+  EXPECT_EQ(xml.find("<mapreduce>"), std::string::npos);
+  EXPECT_EQ(WuTemplate::parse(xml).phase, 0);
+}
+
+TEST(Templates, ParseRejectsBadInput) {
+  EXPECT_THROW(WuTemplate::parse("<workunit/>"), Error);  // missing name
+  EXPECT_THROW(WuTemplate::parse("<other/>"), Error);
+  EXPECT_THROW(WuTemplate::parse(
+                   "<workunit><name>x</name><app_name>a</app_name>"
+                   "<mapreduce><job>j</job><phase>weird</phase></mapreduce>"
+                   "</workunit>"),
+               Error);
+}
+
+struct DaemonFixture {
+  db::Database db;
+  ProjectConfig cfg;
+  WorkUnitId wu;
+
+  DaemonFixture() {
+    // The validator credits hosts by id; register enough of them.
+    for (int i = 0; i < 40; ++i) db.create_host(db::HostRecord{});
+    const db::AppRecord& app = db.create_app("word_count");
+    db::WorkUnitRecord wp;
+    wp.name = "wu0";
+    wp.app = app.id;
+    wp.target_nresults = 2;
+    wp.min_quorum = 2;
+    wp.max_error_results = 3;
+    wp.max_total_results = 6;
+    wp.delay_bound = SimTime::hours(1);
+    wu = db.create_workunit(wp).id;
+  }
+
+  std::vector<db::ResultRecord*> results() {
+    std::vector<db::ResultRecord*> out;
+    for (const ResultId rid : db.results_of(wu)) out.push_back(&db.result(rid));
+    return out;
+  }
+
+  void report(db::ResultRecord& r, HostId host, const common::Digest128& digest,
+              bool success = true) {
+    r.server_state = db::ServerState::kOver;
+    r.outcome = success ? db::Outcome::kSuccess : db::Outcome::kClientError;
+    r.host = host;
+    r.output_digest = digest;
+    db.flag_transition(wu);
+  }
+
+  void send(db::ResultRecord& r, HostId host, SimTime deadline) {
+    r.server_state = db::ServerState::kInProgress;
+    r.host = host;
+    r.report_deadline = deadline;
+  }
+};
+
+TEST(Transitioner, CreatesReplicas) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  tr.pass(SimTime::zero());
+  EXPECT_EQ(f.db.results_of(f.wu).size(), 2u);  // target_nresults
+  EXPECT_EQ(tr.stats().results_created, 2);
+  for (auto* r : f.results()) {
+    EXPECT_EQ(r->server_state, db::ServerState::kUnsent);
+  }
+  // Idempotent when nothing changed.
+  f.db.flag_transition(f.wu);
+  tr.pass(SimTime::zero());
+  EXPECT_EQ(f.db.results_of(f.wu).size(), 2u);
+}
+
+TEST(Transitioner, TimesOutOverdueResults) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  tr.pass(SimTime::zero());
+  auto rs = f.results();
+  f.send(*rs[0], HostId{1}, SimTime::seconds(100));
+  tr.pass(SimTime::seconds(101));
+  EXPECT_EQ(rs[0]->outcome, db::Outcome::kNoReply);
+  EXPECT_EQ(tr.stats().results_timed_out, 1);
+  // A replacement result was created to keep 2 usable instances.
+  EXPECT_EQ(f.db.results_of(f.wu).size(), 3u);
+}
+
+TEST(Transitioner, ReplacesErroredResults) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  tr.pass(SimTime::zero());
+  auto rs = f.results();
+  f.report(*rs[0], HostId{1}, {}, /*success=*/false);
+  tr.pass(SimTime::seconds(1));
+  EXPECT_EQ(f.db.results_of(f.wu).size(), 3u);
+}
+
+TEST(Transitioner, ErrorMassAbandonsWorkUnit) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  bool errored = false;
+  tr.set_error_listener([&](WorkUnitId) { errored = true; });
+  tr.pass(SimTime::zero());
+  // Fail results repeatedly until max_error_results (3) is hit.
+  for (int round = 0; round < 4 && !f.db.workunit(f.wu).error_mass; ++round) {
+    for (auto* r : f.results()) {
+      if (r->server_state == db::ServerState::kUnsent) {
+        f.report(*r, HostId{round * 10 + 1}, {}, false);
+      }
+    }
+    tr.pass(SimTime::seconds(round + 1));
+  }
+  EXPECT_TRUE(f.db.workunit(f.wu).error_mass);
+  EXPECT_TRUE(errored);
+  // No unsent results left dangling.
+  for (auto* r : f.results()) {
+    EXPECT_NE(r->server_state, db::ServerState::kUnsent);
+  }
+}
+
+TEST(Validator, QuorumOfTwoValidates) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  tr.pass(SimTime::zero());
+  auto rs = f.results();
+  const auto digest = common::Hasher::of("answer");
+  f.report(*rs[0], HostId{1}, digest);
+  f.report(*rs[1], HostId{2}, digest);
+
+  Validator v(f.db, f.cfg);
+  WorkUnitId validated = WorkUnitId::invalid();
+  v.set_validated_listener([&](WorkUnitId w) { validated = w; });
+  v.pass(SimTime::seconds(1));
+
+  const db::WorkUnitRecord& wu = f.db.workunit(f.wu);
+  EXPECT_TRUE(wu.canonical_found);
+  EXPECT_EQ(wu.canonical_digest, digest);
+  EXPECT_EQ(wu.assimilate_state, db::AssimilateState::kReady);
+  EXPECT_EQ(validated, f.wu);
+  EXPECT_EQ(rs[0]->validate_state, db::ValidateState::kValid);
+  EXPECT_EQ(rs[1]->validate_state, db::ValidateState::kValid);
+  EXPECT_EQ(v.stats().wus_validated, 1);
+}
+
+TEST(Validator, DisagreementSpawnsTieBreaker) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  tr.pass(SimTime::zero());
+  auto rs = f.results();
+  f.report(*rs[0], HostId{1}, common::Hasher::of("honest"));
+  f.report(*rs[1], HostId{2}, common::Hasher::of("corrupt"));
+
+  Validator v(f.db, f.cfg);
+  v.pass(SimTime::seconds(1));
+  EXPECT_FALSE(f.db.workunit(f.wu).canonical_found);
+  EXPECT_EQ(v.stats().inconclusive_checks, 1);
+
+  // The transitioner then creates a tie-breaking third replica.
+  tr.pass(SimTime::seconds(2));
+  EXPECT_EQ(f.db.results_of(f.wu).size(), 3u);
+
+  // Third honest result resolves the quorum; the corrupt one is invalid.
+  auto rs2 = f.results();
+  f.report(*rs2[2], HostId{3}, common::Hasher::of("honest"));
+  v.pass(SimTime::seconds(3));
+  EXPECT_TRUE(f.db.workunit(f.wu).canonical_found);
+  EXPECT_EQ(rs2[1]->validate_state, db::ValidateState::kInvalid);
+  EXPECT_EQ(rs2[1]->outcome, db::Outcome::kValidateError);
+  EXPECT_EQ(rs2[0]->validate_state, db::ValidateState::kValid);
+}
+
+TEST(Validator, CreditGrantIsQuorumMinimum) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  tr.pass(SimTime::zero());
+  auto rs = f.results();
+  const auto digest = common::Hasher::of("answer");
+  // Host 2 inflates its claim 10x; the grant is clipped to the honest one.
+  f.report(*rs[0], HostId{1}, digest);
+  rs[0]->claimed_credit = 5.0;
+  f.report(*rs[1], HostId{2}, digest);
+  rs[1]->claimed_credit = 50.0;
+
+  Validator v(f.db, f.cfg);
+  v.pass(SimTime::zero());
+  EXPECT_DOUBLE_EQ(rs[0]->granted_credit, 5.0);
+  EXPECT_DOUBLE_EQ(rs[1]->granted_credit, 5.0);
+  EXPECT_DOUBLE_EQ(f.db.host(HostId{1}).total_credit, 5.0);
+  EXPECT_DOUBLE_EQ(f.db.host(HostId{2}).total_credit, 5.0);
+}
+
+TEST(Validator, InvalidResultsEarnNothing) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  tr.pass(SimTime::zero());
+  auto rs = f.results();
+  f.report(*rs[0], HostId{1}, common::Hasher::of("honest"));
+  rs[0]->claimed_credit = 3.0;
+  f.report(*rs[1], HostId{2}, common::Hasher::of("corrupt"));
+  rs[1]->claimed_credit = 3.0;
+  tr.pass(SimTime::seconds(1));
+  Validator v(f.db, f.cfg);
+  v.pass(SimTime::seconds(1));
+  tr.pass(SimTime::seconds(2));
+  auto rs2 = f.results();
+  ASSERT_EQ(rs2.size(), 3u);
+  f.report(*rs2[2], HostId{3}, common::Hasher::of("honest"));
+  rs2[2]->claimed_credit = 3.0;
+  v.pass(SimTime::seconds(3));
+  EXPECT_DOUBLE_EQ(f.db.host(HostId{1}).total_credit, 3.0);
+  EXPECT_DOUBLE_EQ(f.db.host(HostId{2}).total_credit, 0.0);  // invalid replica
+  EXPECT_DOUBLE_EQ(f.db.host(HostId{3}).total_credit, 3.0);
+}
+
+TEST(Validator, CanonicalIsLowestAgreeingId) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  tr.pass(SimTime::zero());
+  auto rs = f.results();
+  const auto digest = common::Hasher::of("d");
+  f.report(*rs[0], HostId{1}, digest);
+  f.report(*rs[1], HostId{2}, digest);
+  Validator v(f.db, f.cfg);
+  v.pass(SimTime::zero());
+  EXPECT_EQ(f.db.workunit(f.wu).canonical_result, rs[0]->id);
+}
+
+TEST(Assimilator, MarksReadyDoneAndNotifies) {
+  DaemonFixture f;
+  f.db.workunit(f.wu).assimilate_state = db::AssimilateState::kReady;
+  Assimilator a(f.db);
+  WorkUnitId got = WorkUnitId::invalid();
+  a.set_assimilated_listener([&](WorkUnitId w) { got = w; });
+  a.pass();
+  EXPECT_EQ(f.db.workunit(f.wu).assimilate_state, db::AssimilateState::kDone);
+  EXPECT_EQ(got, f.wu);
+  EXPECT_EQ(a.assimilated(), 1);
+  a.pass();  // no double assimilation
+  EXPECT_EQ(a.assimilated(), 1);
+}
+
+TEST(Feeder, CachesUnsentAndEvictsStale) {
+  DaemonFixture f;
+  Transitioner tr(f.db, f.cfg);
+  tr.pass(SimTime::zero());
+  Feeder feeder(f.db, 10);
+  feeder.refill();
+  EXPECT_EQ(feeder.cache().size(), 2u);
+
+  // Assigning one makes it stale; the next refill evicts it.
+  auto rs = f.results();
+  rs[0]->server_state = db::ServerState::kInProgress;
+  feeder.refill();
+  EXPECT_EQ(feeder.cache().size(), 1u);
+  EXPECT_EQ(feeder.cache()[0], rs[1]->id);
+
+  feeder.remove(rs[1]->id);
+  EXPECT_TRUE(feeder.cache().empty());
+}
+
+TEST(Feeder, RespectsCapacity) {
+  db::Database db;
+  const db::AppRecord& app = db.create_app("a");
+  for (int i = 0; i < 20; ++i) {
+    db::WorkUnitRecord wp;
+    wp.name = "wu" + std::to_string(i);
+    wp.app = app.id;
+    const db::WorkUnitRecord& wu = db.create_workunit(wp);
+    db::ResultRecord rp;
+    rp.wu = wu.id;
+    rp.server_state = db::ServerState::kUnsent;
+    db.create_result(rp);
+  }
+  Feeder feeder(db, 5);
+  feeder.refill();
+  EXPECT_EQ(feeder.cache().size(), 5u);
+}
+
+}  // namespace
+}  // namespace vcmr::server

@@ -1,0 +1,224 @@
+// Tests for the discrete-event engine: queue ordering, cancellation,
+// run-loop control, and the trace recorder.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+
+namespace vcmr::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.schedule(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.schedule(SimTime::seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventHandle h = q.schedule(SimTime::seconds(1), [&] { fired = true; });
+  q.cancel(h);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  const EventHandle h = q.schedule(SimTime::seconds(1), [] {});
+  q.cancel(h);
+  q.cancel(h);               // second cancel is a no-op
+  q.cancel(EventHandle{});   // inert handle is a no-op
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventHandle h = q.schedule(SimTime::seconds(1), [] {});
+  q.schedule(SimTime::seconds(2), [] {});
+  q.cancel(h);
+  EXPECT_EQ(q.next_time(), SimTime::seconds(2));
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop_and_run(), Error);
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      q.schedule(SimTime::seconds(count), chain);
+    }
+  };
+  q.schedule(SimTime::zero(), chain);
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulation, ClockAdvancesToEventTimes) {
+  Simulation sim;
+  std::vector<double> at;
+  sim.after(SimTime::seconds(2), [&] { at.push_back(sim.now().as_seconds()); });
+  sim.after(SimTime::seconds(5), [&] { at.push_back(sim.now().as_seconds()); });
+  sim.run();
+  EXPECT_EQ(at, (std::vector<double>{2.0, 5.0}));
+  EXPECT_EQ(sim.now().as_seconds(), 5.0);
+}
+
+TEST(Simulation, RunUntilDeadlineStopsClock) {
+  Simulation sim;
+  bool late_fired = false;
+  sim.after(SimTime::seconds(100), [&] { late_fired = true; });
+  sim.run(SimTime::seconds(10));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.now(), SimTime::seconds(10));
+}
+
+TEST(Simulation, RunUntilPredicate) {
+  Simulation sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    sim.after(SimTime::seconds(1), tick);
+  };
+  sim.after(SimTime::seconds(1), tick);
+  const bool hit = sim.run_until([&] { return ticks >= 7; },
+                                 SimTime::seconds(100));
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(ticks, 7);
+}
+
+TEST(Simulation, RunUntilPredicateDeadline) {
+  Simulation sim;
+  sim.after(SimTime::seconds(1), [] {});
+  const bool hit = sim.run_until([] { return false; }, SimTime::seconds(5));
+  EXPECT_FALSE(hit);
+}
+
+TEST(Simulation, CannotScheduleInPast) {
+  Simulation sim;
+  sim.after(SimTime::seconds(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(SimTime::seconds(1), [] {}), Error);
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.after(SimTime::seconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.after(SimTime::seconds(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes with remaining events
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsExecutedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 10; ++i) sim.after(SimTime::seconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(Simulation, RngStreamsStableAcrossInstances) {
+  Simulation a(77), b(77);
+  EXPECT_EQ(a.rng_stream("x").next_u64(), b.rng_stream("x").next_u64());
+}
+
+TEST(Trace, PointsAndSpans) {
+  TraceRecorder tr;
+  tr.point(SimTime::seconds(1), "host1", "assign", "r0");
+  const std::size_t tok = tr.begin_span(SimTime::seconds(2), "host1", "compute");
+  tr.end_span(tok, SimTime::seconds(5));
+  ASSERT_EQ(tr.points().size(), 1u);
+  const auto spans = tr.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin, SimTime::seconds(2));
+  EXPECT_EQ(spans[0].end, SimTime::seconds(5));
+}
+
+TEST(Trace, UnclosedSpansDropped) {
+  TraceRecorder tr;
+  tr.begin_span(SimTime::seconds(1), "a", "x");
+  EXPECT_TRUE(tr.spans().empty());
+}
+
+TEST(Trace, EndBeforeBeginThrows) {
+  TraceRecorder tr;
+  const std::size_t tok = tr.begin_span(SimTime::seconds(5), "a", "x");
+  EXPECT_THROW(tr.end_span(tok, SimTime::seconds(1)), Error);
+}
+
+TEST(Trace, DoubleCloseThrows) {
+  TraceRecorder tr;
+  const std::size_t tok = tr.begin_span(SimTime::seconds(1), "a", "x");
+  tr.end_span(tok, SimTime::seconds(2));
+  EXPECT_THROW(tr.end_span(tok, SimTime::seconds(3)), Error);
+}
+
+TEST(Trace, ActorsInFirstSeenOrder) {
+  TraceRecorder tr;
+  tr.point(SimTime::zero(), "b", "x");
+  tr.point(SimTime::zero(), "a", "x");
+  tr.point(SimTime::zero(), "b", "y");
+  EXPECT_EQ(tr.actors(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(Trace, PerActorFilters) {
+  TraceRecorder tr;
+  tr.point(SimTime::zero(), "a", "x");
+  tr.point(SimTime::zero(), "b", "y");
+  const std::size_t t1 = tr.begin_span(SimTime::zero(), "a", "s");
+  tr.end_span(t1, SimTime::seconds(1));
+  EXPECT_EQ(tr.points_for("a").size(), 1u);
+  EXPECT_EQ(tr.spans_for("a").size(), 1u);
+  EXPECT_EQ(tr.spans_for("b").size(), 0u);
+}
+
+TEST(Trace, GanttRendersRowsPerActor) {
+  TraceRecorder tr;
+  const std::size_t t = tr.begin_span(SimTime::seconds(0), "host1", "compute");
+  tr.end_span(t, SimTime::seconds(10));
+  tr.point(SimTime::seconds(5), "host2", "report");
+  const std::string art = tr.ascii_gantt(SimTime::zero(), SimTime::seconds(10), 20);
+  EXPECT_NE(art.find("host1"), std::string::npos);
+  EXPECT_NE(art.find("host2"), std::string::npos);
+  EXPECT_NE(art.find('C'), std::string::npos);
+  EXPECT_NE(art.find('!'), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  TraceRecorder tr;
+  tr.point(SimTime::zero(), "a", "x");
+  tr.clear();
+  EXPECT_TRUE(tr.points().empty());
+  EXPECT_TRUE(tr.actors().empty());
+}
+
+}  // namespace
+}  // namespace vcmr::sim

@@ -1,0 +1,91 @@
+// vcmr_dbdump — inspect a project-database snapshot written by
+// `vcmr_run ... --snapshot db.xml` (or db::Database::save()).
+//
+//   vcmr_dbdump db.xml            summary: per-state result counts, jobs
+//   vcmr_dbdump db.xml --hosts    per-host credit/ranking table
+//   vcmr_dbdump db.xml --results  every result with its three state axes
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "db/database.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw vcmr::Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vcmr;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: vcmr_dbdump <db.xml> [--hosts|--results]\n");
+    return 1;
+  }
+  try {
+    const db::Database db = db::Database::load(read_file(argv[1]));
+    const std::string mode = argc >= 3 ? argv[2] : "";
+
+    if (mode == "--hosts") {
+      std::printf("%-10s %12s %8s %10s\n", "host", "flops", "mr?", "credit");
+      std::vector<const db::HostRecord*> hosts;
+      db.for_each_host([&](const db::HostRecord& h) { hosts.push_back(&h); });
+      std::sort(hosts.begin(), hosts.end(),
+                [](const db::HostRecord* a, const db::HostRecord* b) {
+                  return a->total_credit > b->total_credit;
+                });
+      for (const auto* h : hosts) {
+        std::printf("%-10s %12.3g %8s %10.2f\n", h->name.c_str(), h->flops,
+                    h->mr_capable ? "yes" : "no", h->total_credit);
+      }
+      return 0;
+    }
+
+    if (mode == "--results") {
+      std::printf("%-22s %-12s %-14s %-13s %8s\n", "result", "state",
+                  "outcome", "validate", "credit");
+      db.for_each_result([&](const db::ResultRecord& r) {
+        std::printf("%-22s %-12s %-14s %-13s %8.2f\n", r.name.c_str(),
+                    db::to_string(r.server_state), db::to_string(r.outcome),
+                    db::to_string(r.validate_state), r.granted_credit);
+      });
+      return 0;
+    }
+
+    std::printf("workunits: %zu   results: %zu   files: %zu   hosts: %zu\n",
+                db.workunit_count(), db.result_count(), db.file_count(),
+                db.host_count());
+    std::map<std::string, int> by_outcome;
+    db.for_each_result([&](const db::ResultRecord& r) {
+      ++by_outcome[db::to_string(r.outcome)];
+    });
+    std::printf("\nresult outcomes:\n");
+    for (const auto& [name, count] : by_outcome) {
+      std::printf("  %-16s %d\n", name.c_str(), count);
+    }
+    std::printf("\njobs:\n");
+    db.for_each_mr_job([&](const db::MrJobRecord& j) {
+      const char* state = "map-phase";
+      if (j.state == db::MrJobState::kReducePhase) state = "reduce-phase";
+      if (j.state == db::MrJobState::kDone) state = "done";
+      if (j.state == db::MrJobState::kFailed) state = "FAILED";
+      std::printf("  %-12s %d maps x %d reducers  %s  (%.0f s)\n",
+                  j.name.c_str(), j.n_maps, j.n_reducers, state,
+                  (j.finished - j.map_first_sent).as_seconds());
+    });
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vcmr_dbdump: %s\n", e.what());
+    return 1;
+  }
+}

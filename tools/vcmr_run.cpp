@@ -1,0 +1,118 @@
+// vcmr_run — run a VCMR scenario described by an XML file.
+//
+//   vcmr_run scenario.xml                 run it, print the metrics report
+//   vcmr_run scenario.xml --snapshot p    ...and write the post-run project
+//                                         database (XML) to p
+//   vcmr_run --template                   print a fully populated scenario.xml
+//   vcmr_run --echo scenario.xml          parse and print the normalized form
+//
+// Exit status: 0 on job completion, 2 on job failure/timeout, 1 on usage
+// or parse errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "core/cluster.h"
+#include "core/scenario_io.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw vcmr::Error(std::string() + "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vcmr_run <scenario.xml> [--snapshot <db.xml>]\n"
+               "       vcmr_run --template\n"
+               "       vcmr_run --echo <scenario.xml>\n");
+  return 1;
+}
+
+void report(const vcmr::core::RunOutcome& out) {
+  const vcmr::core::JobMetrics& m = out.metrics;
+  std::printf("status        : %s\n",
+              m.completed ? "completed"
+                          : (m.failed ? "FAILED" : "TIME LIMIT"));
+  std::printf("map           : avg task %.1f s [trimmed %.1f s], span %.1f s "
+              "(%d tasks)\n",
+              m.map.avg_task_seconds, m.map.avg_task_seconds_trimmed,
+              m.map.span_seconds, m.map.tasks);
+  std::printf("reduce        : avg task %.1f s [trimmed %.1f s], span %.1f s "
+              "(%d tasks)\n",
+              m.reduce.avg_task_seconds, m.reduce.avg_task_seconds_trimmed,
+              m.reduce.span_seconds, m.reduce.tasks);
+  std::printf("phase gap     : %.1f s\n", m.map_to_reduce_gap_seconds);
+  std::printf("total         : %.1f s [trimmed %.1f s]\n", m.total_seconds,
+              m.total_seconds_trimmed);
+  std::printf("server traffic: %.1f MB out, %.1f MB in\n",
+              out.server_bytes_sent / 1e6, out.server_bytes_received / 1e6);
+  std::printf("inter-client  : %.1f MB over %lld fetch attempts "
+              "(%lld server fallbacks)\n",
+              out.interclient_bytes / 1e6,
+              static_cast<long long>(out.peer_fetch_attempts),
+              static_cast<long long>(out.server_fallbacks));
+  std::printf("scheduler     : %lld RPCs, %lld client backoffs\n",
+              static_cast<long long>(out.scheduler_rpcs),
+              static_cast<long long>(out.backoffs));
+  if (out.traversal.attempts > 0) {
+    std::printf("traversal     : %lld attempts (%lld direct, %lld reversal, "
+                "%lld punched, %lld relayed, %lld failed)\n",
+                static_cast<long long>(out.traversal.attempts),
+                static_cast<long long>(out.traversal.direct),
+                static_cast<long long>(out.traversal.reversal),
+                static_cast<long long>(out.traversal.hole_punch),
+                static_cast<long long>(out.traversal.relayed),
+                static_cast<long long>(out.traversal.failed));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vcmr;
+  if (argc < 2) return usage();
+  const std::string arg = argv[1];
+  try {
+    if (arg == "--template") {
+      core::Scenario s;
+      std::fputs(core::scenario_to_xml(s).c_str(), stdout);
+      return 0;
+    }
+    if (arg == "--echo") {
+      if (argc < 3) return usage();
+      const core::Scenario s = core::scenario_from_xml(read_file(argv[2]));
+      std::fputs(core::scenario_to_xml(s).c_str(), stdout);
+      return 0;
+    }
+
+    common::LogConfig::instance().set_level(common::LogLevel::kWarn);
+    const core::Scenario s = core::scenario_from_xml(read_file(arg));
+    std::printf("scenario: %d nodes, %d maps, %d reducers, %lld MB, %s "
+                "clients, seed %llu\n\n",
+                s.n_nodes, s.n_maps, s.n_reducers,
+                static_cast<long long>(s.input_size / 1000000),
+                s.boinc_mr ? "BOINC-MR" : "plain BOINC",
+                static_cast<unsigned long long>(s.seed));
+    core::Cluster cluster(s);
+    const core::RunOutcome out = cluster.run_job();
+    report(out);
+    if (argc >= 4 && std::string(argv[2]) == "--snapshot") {
+      std::ofstream snap(argv[3]);
+      if (!snap) throw vcmr::Error(std::string("cannot write ") + argv[3]);
+      snap << cluster.project().database().save();
+      std::printf("database snapshot: %s\n", argv[3]);
+    }
+    return out.metrics.completed ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vcmr_run: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_input_dist.cpp" "bench/CMakeFiles/bench_input_dist.dir/bench_input_dist.cpp.o" "gcc" "bench/CMakeFiles/bench_input_dist.dir/bench_input_dist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vcmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/volunteer/CMakeFiles/vcmr_volunteer.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/vcmr_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/vcmr_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/vcmr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/vcmr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/vcmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vcmr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vcmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_input_dist.dir/bench_input_dist.cpp.o"
+  "CMakeFiles/bench_input_dist.dir/bench_input_dist.cpp.o.d"
+  "bench_input_dist"
+  "bench_input_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_input_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

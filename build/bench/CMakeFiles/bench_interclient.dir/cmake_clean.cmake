@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interclient.dir/bench_interclient.cpp.o"
+  "CMakeFiles/bench_interclient.dir/bench_interclient.cpp.o.d"
+  "bench_interclient"
+  "bench_interclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

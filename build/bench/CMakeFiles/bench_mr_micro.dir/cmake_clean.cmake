@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mr_micro.dir/bench_mr_micro.cpp.o"
+  "CMakeFiles/bench_mr_micro.dir/bench_mr_micro.cpp.o.d"
+  "bench_mr_micro"
+  "bench_mr_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mr_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

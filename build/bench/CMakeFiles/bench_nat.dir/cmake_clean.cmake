@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nat.dir/bench_nat.cpp.o"
+  "CMakeFiles/bench_nat.dir/bench_nat.cpp.o.d"
+  "bench_nat"
+  "bench_nat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

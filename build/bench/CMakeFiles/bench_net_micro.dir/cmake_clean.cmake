@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_micro.dir/bench_net_micro.cpp.o"
+  "CMakeFiles/bench_net_micro.dir/bench_net_micro.cpp.o.d"
+  "bench_net_micro"
+  "bench_net_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcpnice.dir/bench_tcpnice.cpp.o"
+  "CMakeFiles/bench_tcpnice.dir/bench_tcpnice.cpp.o.d"
+  "bench_tcpnice"
+  "bench_tcpnice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcpnice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

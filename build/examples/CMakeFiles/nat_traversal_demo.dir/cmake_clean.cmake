@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_traversal_demo.dir/nat_traversal_demo.cpp.o"
+  "CMakeFiles/nat_traversal_demo.dir/nat_traversal_demo.cpp.o.d"
+  "nat_traversal_demo"
+  "nat_traversal_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_traversal_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_volunteers.dir/pagerank_volunteers.cpp.o"
+  "CMakeFiles/pagerank_volunteers.dir/pagerank_volunteers.cpp.o.d"
+  "pagerank_volunteers"
+  "pagerank_volunteers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_volunteers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pagerank_volunteers.
+# This may be replaced when dependencies are built.

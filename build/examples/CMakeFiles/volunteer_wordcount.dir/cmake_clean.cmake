@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volunteer_wordcount.dir/volunteer_wordcount.cpp.o"
+  "CMakeFiles/volunteer_wordcount.dir/volunteer_wordcount.cpp.o.d"
+  "volunteer_wordcount"
+  "volunteer_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volunteer_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_chain.dir/workflow_chain.cpp.o"
+  "CMakeFiles/workflow_chain.dir/workflow_chain.cpp.o.d"
+  "workflow_chain"
+  "workflow_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

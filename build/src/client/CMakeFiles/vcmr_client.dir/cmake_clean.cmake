@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_client.dir/client.cpp.o"
+  "CMakeFiles/vcmr_client.dir/client.cpp.o.d"
+  "CMakeFiles/vcmr_client.dir/interclient.cpp.o"
+  "CMakeFiles/vcmr_client.dir/interclient.cpp.o.d"
+  "libvcmr_client.a"
+  "libvcmr_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

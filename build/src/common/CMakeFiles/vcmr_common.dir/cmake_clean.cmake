@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_common.dir/bloom.cpp.o"
+  "CMakeFiles/vcmr_common.dir/bloom.cpp.o.d"
+  "CMakeFiles/vcmr_common.dir/hash.cpp.o"
+  "CMakeFiles/vcmr_common.dir/hash.cpp.o.d"
+  "CMakeFiles/vcmr_common.dir/logging.cpp.o"
+  "CMakeFiles/vcmr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/vcmr_common.dir/rng.cpp.o"
+  "CMakeFiles/vcmr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vcmr_common.dir/stats.cpp.o"
+  "CMakeFiles/vcmr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vcmr_common.dir/strings.cpp.o"
+  "CMakeFiles/vcmr_common.dir/strings.cpp.o.d"
+  "CMakeFiles/vcmr_common.dir/types.cpp.o"
+  "CMakeFiles/vcmr_common.dir/types.cpp.o.d"
+  "CMakeFiles/vcmr_common.dir/xml.cpp.o"
+  "CMakeFiles/vcmr_common.dir/xml.cpp.o.d"
+  "libvcmr_common.a"
+  "libvcmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_core.dir/cluster.cpp.o"
+  "CMakeFiles/vcmr_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/vcmr_core.dir/metrics.cpp.o"
+  "CMakeFiles/vcmr_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/vcmr_core.dir/scenario_io.cpp.o"
+  "CMakeFiles/vcmr_core.dir/scenario_io.cpp.o.d"
+  "CMakeFiles/vcmr_core.dir/workflow.cpp.o"
+  "CMakeFiles/vcmr_core.dir/workflow.cpp.o.d"
+  "libvcmr_core.a"
+  "libvcmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

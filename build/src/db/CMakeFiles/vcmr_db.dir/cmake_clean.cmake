@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_db.dir/database.cpp.o"
+  "CMakeFiles/vcmr_db.dir/database.cpp.o.d"
+  "libvcmr_db.a"
+  "libvcmr_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcmr_db.a"
+)

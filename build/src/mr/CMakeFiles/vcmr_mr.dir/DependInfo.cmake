@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/app.cpp" "src/mr/CMakeFiles/vcmr_mr.dir/app.cpp.o" "gcc" "src/mr/CMakeFiles/vcmr_mr.dir/app.cpp.o.d"
+  "/root/repo/src/mr/apps.cpp" "src/mr/CMakeFiles/vcmr_mr.dir/apps.cpp.o" "gcc" "src/mr/CMakeFiles/vcmr_mr.dir/apps.cpp.o.d"
+  "/root/repo/src/mr/dataset.cpp" "src/mr/CMakeFiles/vcmr_mr.dir/dataset.cpp.o" "gcc" "src/mr/CMakeFiles/vcmr_mr.dir/dataset.cpp.o.d"
+  "/root/repo/src/mr/keyvalue.cpp" "src/mr/CMakeFiles/vcmr_mr.dir/keyvalue.cpp.o" "gcc" "src/mr/CMakeFiles/vcmr_mr.dir/keyvalue.cpp.o.d"
+  "/root/repo/src/mr/local_runtime.cpp" "src/mr/CMakeFiles/vcmr_mr.dir/local_runtime.cpp.o" "gcc" "src/mr/CMakeFiles/vcmr_mr.dir/local_runtime.cpp.o.d"
+  "/root/repo/src/mr/task.cpp" "src/mr/CMakeFiles/vcmr_mr.dir/task.cpp.o" "gcc" "src/mr/CMakeFiles/vcmr_mr.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vcmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_mr.dir/app.cpp.o"
+  "CMakeFiles/vcmr_mr.dir/app.cpp.o.d"
+  "CMakeFiles/vcmr_mr.dir/apps.cpp.o"
+  "CMakeFiles/vcmr_mr.dir/apps.cpp.o.d"
+  "CMakeFiles/vcmr_mr.dir/dataset.cpp.o"
+  "CMakeFiles/vcmr_mr.dir/dataset.cpp.o.d"
+  "CMakeFiles/vcmr_mr.dir/keyvalue.cpp.o"
+  "CMakeFiles/vcmr_mr.dir/keyvalue.cpp.o.d"
+  "CMakeFiles/vcmr_mr.dir/local_runtime.cpp.o"
+  "CMakeFiles/vcmr_mr.dir/local_runtime.cpp.o.d"
+  "CMakeFiles/vcmr_mr.dir/task.cpp.o"
+  "CMakeFiles/vcmr_mr.dir/task.cpp.o.d"
+  "libvcmr_mr.a"
+  "libvcmr_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

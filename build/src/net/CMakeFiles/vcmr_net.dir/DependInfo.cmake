@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/vcmr_net.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/vcmr_net.dir/http.cpp.o.d"
+  "/root/repo/src/net/nat.cpp" "src/net/CMakeFiles/vcmr_net.dir/nat.cpp.o" "gcc" "src/net/CMakeFiles/vcmr_net.dir/nat.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/vcmr_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/vcmr_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/overlay.cpp" "src/net/CMakeFiles/vcmr_net.dir/overlay.cpp.o" "gcc" "src/net/CMakeFiles/vcmr_net.dir/overlay.cpp.o.d"
+  "/root/repo/src/net/traversal.cpp" "src/net/CMakeFiles/vcmr_net.dir/traversal.cpp.o" "gcc" "src/net/CMakeFiles/vcmr_net.dir/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vcmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vcmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

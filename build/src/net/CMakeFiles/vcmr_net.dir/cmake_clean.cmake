@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_net.dir/http.cpp.o"
+  "CMakeFiles/vcmr_net.dir/http.cpp.o.d"
+  "CMakeFiles/vcmr_net.dir/nat.cpp.o"
+  "CMakeFiles/vcmr_net.dir/nat.cpp.o.d"
+  "CMakeFiles/vcmr_net.dir/network.cpp.o"
+  "CMakeFiles/vcmr_net.dir/network.cpp.o.d"
+  "CMakeFiles/vcmr_net.dir/overlay.cpp.o"
+  "CMakeFiles/vcmr_net.dir/overlay.cpp.o.d"
+  "CMakeFiles/vcmr_net.dir/traversal.cpp.o"
+  "CMakeFiles/vcmr_net.dir/traversal.cpp.o.d"
+  "libvcmr_net.a"
+  "libvcmr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_proto.dir/messages.cpp.o"
+  "CMakeFiles/vcmr_proto.dir/messages.cpp.o.d"
+  "libvcmr_proto.a"
+  "libvcmr_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

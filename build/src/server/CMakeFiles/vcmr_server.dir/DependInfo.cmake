@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/assimilator.cpp" "src/server/CMakeFiles/vcmr_server.dir/assimilator.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/assimilator.cpp.o.d"
+  "/root/repo/src/server/config.cpp" "src/server/CMakeFiles/vcmr_server.dir/config.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/config.cpp.o.d"
+  "/root/repo/src/server/data_server.cpp" "src/server/CMakeFiles/vcmr_server.dir/data_server.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/data_server.cpp.o.d"
+  "/root/repo/src/server/feeder.cpp" "src/server/CMakeFiles/vcmr_server.dir/feeder.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/feeder.cpp.o.d"
+  "/root/repo/src/server/jobtracker.cpp" "src/server/CMakeFiles/vcmr_server.dir/jobtracker.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/jobtracker.cpp.o.d"
+  "/root/repo/src/server/project.cpp" "src/server/CMakeFiles/vcmr_server.dir/project.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/project.cpp.o.d"
+  "/root/repo/src/server/scheduler.cpp" "src/server/CMakeFiles/vcmr_server.dir/scheduler.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/scheduler.cpp.o.d"
+  "/root/repo/src/server/templates.cpp" "src/server/CMakeFiles/vcmr_server.dir/templates.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/templates.cpp.o.d"
+  "/root/repo/src/server/transitioner.cpp" "src/server/CMakeFiles/vcmr_server.dir/transitioner.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/transitioner.cpp.o.d"
+  "/root/repo/src/server/validator.cpp" "src/server/CMakeFiles/vcmr_server.dir/validator.cpp.o" "gcc" "src/server/CMakeFiles/vcmr_server.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/vcmr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/vcmr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/vcmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vcmr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vcmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_server.dir/assimilator.cpp.o"
+  "CMakeFiles/vcmr_server.dir/assimilator.cpp.o.d"
+  "CMakeFiles/vcmr_server.dir/config.cpp.o"
+  "CMakeFiles/vcmr_server.dir/config.cpp.o.d"
+  "CMakeFiles/vcmr_server.dir/data_server.cpp.o"
+  "CMakeFiles/vcmr_server.dir/data_server.cpp.o.d"
+  "CMakeFiles/vcmr_server.dir/feeder.cpp.o"
+  "CMakeFiles/vcmr_server.dir/feeder.cpp.o.d"
+  "CMakeFiles/vcmr_server.dir/jobtracker.cpp.o"
+  "CMakeFiles/vcmr_server.dir/jobtracker.cpp.o.d"
+  "CMakeFiles/vcmr_server.dir/project.cpp.o"
+  "CMakeFiles/vcmr_server.dir/project.cpp.o.d"
+  "CMakeFiles/vcmr_server.dir/scheduler.cpp.o"
+  "CMakeFiles/vcmr_server.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vcmr_server.dir/templates.cpp.o"
+  "CMakeFiles/vcmr_server.dir/templates.cpp.o.d"
+  "CMakeFiles/vcmr_server.dir/transitioner.cpp.o"
+  "CMakeFiles/vcmr_server.dir/transitioner.cpp.o.d"
+  "CMakeFiles/vcmr_server.dir/validator.cpp.o"
+  "CMakeFiles/vcmr_server.dir/validator.cpp.o.d"
+  "libvcmr_server.a"
+  "libvcmr_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vcmr_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vcmr_sim.dir/simulation.cpp.o"
+  "CMakeFiles/vcmr_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/vcmr_sim.dir/trace.cpp.o"
+  "CMakeFiles/vcmr_sim.dir/trace.cpp.o.d"
+  "libvcmr_sim.a"
+  "libvcmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

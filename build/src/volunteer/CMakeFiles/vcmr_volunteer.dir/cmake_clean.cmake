@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_volunteer.dir/availability.cpp.o"
+  "CMakeFiles/vcmr_volunteer.dir/availability.cpp.o.d"
+  "CMakeFiles/vcmr_volunteer.dir/population.cpp.o"
+  "CMakeFiles/vcmr_volunteer.dir/population.cpp.o.d"
+  "libvcmr_volunteer.a"
+  "libvcmr_volunteer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_volunteer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vcmr_volunteer.
+# This may be replaced when dependencies are built.

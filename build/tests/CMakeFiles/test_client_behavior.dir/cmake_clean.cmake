@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client_behavior.dir/test_client_behavior.cpp.o"
+  "CMakeFiles/test_client_behavior.dir/test_client_behavior.cpp.o.d"
+  "test_client_behavior"
+  "test_client_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_bloom.dir/test_common_bloom.cpp.o"
+  "CMakeFiles/test_common_bloom.dir/test_common_bloom.cpp.o.d"
+  "test_common_bloom"
+  "test_common_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

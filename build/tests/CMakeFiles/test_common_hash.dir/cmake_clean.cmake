@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_hash.dir/test_common_hash.cpp.o"
+  "CMakeFiles/test_common_hash.dir/test_common_hash.cpp.o.d"
+  "test_common_hash"
+  "test_common_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

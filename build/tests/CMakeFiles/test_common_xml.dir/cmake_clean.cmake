@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_xml.dir/test_common_xml.cpp.o"
+  "CMakeFiles/test_common_xml.dir/test_common_xml.cpp.o.d"
+  "test_common_xml"
+  "test_common_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr.dir/test_mr.cpp.o"
+  "CMakeFiles/test_mr.dir/test_mr.cpp.o.d"
+  "test_mr"
+  "test_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

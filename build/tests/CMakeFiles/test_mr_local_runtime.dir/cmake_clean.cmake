@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_local_runtime.dir/test_mr_local_runtime.cpp.o"
+  "CMakeFiles/test_mr_local_runtime.dir/test_mr_local_runtime.cpp.o.d"
+  "test_mr_local_runtime"
+  "test_mr_local_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_local_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

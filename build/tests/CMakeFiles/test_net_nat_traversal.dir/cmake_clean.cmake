@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_nat_traversal.dir/test_net_nat_traversal.cpp.o"
+  "CMakeFiles/test_net_nat_traversal.dir/test_net_nat_traversal.cpp.o.d"
+  "test_net_nat_traversal"
+  "test_net_nat_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_nat_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_property.dir/test_net_property.cpp.o"
+  "CMakeFiles/test_net_property.dir/test_net_property.cpp.o.d"
+  "test_net_property"
+  "test_net_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

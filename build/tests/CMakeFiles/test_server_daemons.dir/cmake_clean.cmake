@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_daemons.dir/test_server_daemons.cpp.o"
+  "CMakeFiles/test_server_daemons.dir/test_server_daemons.cpp.o.d"
+  "test_server_daemons"
+  "test_server_daemons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_daemons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

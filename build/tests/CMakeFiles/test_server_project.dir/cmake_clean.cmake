@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_project.dir/test_server_project.cpp.o"
+  "CMakeFiles/test_server_project.dir/test_server_project.cpp.o.d"
+  "test_server_project"
+  "test_server_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

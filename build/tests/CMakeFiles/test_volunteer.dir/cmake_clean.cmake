@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_volunteer.dir/test_volunteer.cpp.o"
+  "CMakeFiles/test_volunteer.dir/test_volunteer.cpp.o.d"
+  "test_volunteer"
+  "test_volunteer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_volunteer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

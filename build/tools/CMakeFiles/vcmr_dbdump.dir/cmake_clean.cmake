@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_dbdump.dir/vcmr_dbdump.cpp.o"
+  "CMakeFiles/vcmr_dbdump.dir/vcmr_dbdump.cpp.o.d"
+  "vcmr_dbdump"
+  "vcmr_dbdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_dbdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

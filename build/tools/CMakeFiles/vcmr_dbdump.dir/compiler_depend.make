@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vcmr_dbdump.
+# This may be replaced when dependencies are built.

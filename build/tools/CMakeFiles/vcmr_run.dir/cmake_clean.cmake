@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcmr_run.dir/vcmr_run.cpp.o"
+  "CMakeFiles/vcmr_run.dir/vcmr_run.cpp.o.d"
+  "vcmr_run"
+  "vcmr_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcmr_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(vcmr_run_template "/root/repo/build/tools/vcmr_run" "--template")
+set_tests_properties(vcmr_run_template PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vcmr_run_scenario "/root/repo/build/tools/vcmr_run" "/root/repo/scenarios/boincmr_20_20_5.xml")
+set_tests_properties(vcmr_run_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vcmr_run_echo "/root/repo/build/tools/vcmr_run" "--echo" "/root/repo/scenarios/internet_churn.xml")
+set_tests_properties(vcmr_run_echo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vcmr_snapshot_roundtrip "sh" "-c" "/root/repo/build/tools/vcmr_run /root/repo/scenarios/boincmr_20_20_5.xml --snapshot /root/repo/build/snap.xml && /root/repo/build/tools/vcmr_dbdump /root/repo/build/snap.xml && /root/repo/build/tools/vcmr_dbdump /root/repo/build/snap.xml --hosts")
+set_tests_properties(vcmr_snapshot_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")

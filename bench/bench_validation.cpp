@@ -5,6 +5,15 @@
 // byzantine host fraction, reporting makespan, redundancy overhead (results
 // executed per useful work unit), and whether any corrupted digest ever
 // became canonical (it must not, as long as honest replicas reach quorum).
+//
+// E7b extends the sweep with the vcmr::rep adaptive replication policy:
+// fixed 2-way quorum vs trust-earned single replicas with spot-checks, under
+// churn, across byzantine fractions. A job train warms host reputations on
+// one fleet; the last job's replication overhead (results created per
+// validated WU), makespan, and invalid-canonical count — checked against a
+// clean reference run's digests — come out as one JSON line per config.
+
+#include <map>
 
 #include "bench_util.h"
 #include "volunteer/byzantine.h"
@@ -84,11 +93,136 @@ void run(int n_seeds) {
       "higher replication buys tolerance at proportional makespan cost.\n");
 }
 
+// --- E7b: fixed vs adaptive replication -----------------------------------
+
+constexpr int kJobsPerFleet = 8;  ///< warm-up train + measured last job
+
+core::Scenario adaptive_scenario(std::uint64_t seed) {
+  core::Scenario s;
+  s.seed = seed;
+  s.n_nodes = 16;
+  s.n_maps = 8;
+  s.n_reducers = 2;
+  s.input_size = 50LL * 1000 * 1000;
+  s.boinc_mr = true;
+  s.time_limit = SimTime::hours(500);
+  s.project.max_error_results = 10;
+  s.project.max_total_results = 20;
+  // Trust thresholds sized so honest hosts warm up within the job train.
+  s.project.reputation.min_consecutive_valid = 5;
+  s.project.reputation.error_rate_decay = 0.8;
+  return s;
+}
+
+/// Canonical digest per WU name after a run — the honest answers when the
+/// fleet is clean.
+std::map<std::string, common::Digest128> canonical_digests(
+    const core::Cluster& c) {
+  std::map<std::string, common::Digest128> out;
+  c.project().database().for_each_workunit([&](const db::WorkUnitRecord& w) {
+    if (w.canonical_found) out[w.name] = w.canonical_digest;
+  });
+  return out;
+}
+
+void run_adaptive(int n_seeds) {
+  bench::heading(common::strprintf(
+      "E7b — FIXED vs ADAPTIVE REPLICATION (16 nodes, churn, %d-job train, "
+      "%d seeds; JSON per config)",
+      kJobsPerFleet, n_seeds));
+
+  for (const rep::PolicyMode mode :
+       {rep::PolicyMode::kFixed, rep::PolicyMode::kAdaptive}) {
+    for (const double faulty : {0.0, 0.01, 0.10}) {
+      double overhead = 0, makespan = 0;
+      std::int64_t invalid_canonicals = 0, spot_checks = 0, singles = 0;
+      int jobs_ok = 0, measured = 0;
+      for (int i = 0; i < n_seeds; ++i) {
+        const std::uint64_t seed = 500 + static_cast<std::uint64_t>(i);
+
+        // Clean reference fleet: same seed and job train, no faults, no
+        // churn — its canonical digests are the ground truth.
+        core::Cluster ref(adaptive_scenario(seed));
+        for (int j = 0; j < kJobsPerFleet; ++j) ref.run_job();
+        const auto truth = canonical_digests(ref);
+
+        core::Scenario s = adaptive_scenario(seed);
+        s.project.reputation.mode = mode;
+        volunteer::ChurnConfig churn;
+        churn.mean_on = SimTime::hours(4);
+        churn.mean_off = SimTime::minutes(30);
+        s.churn = churn;
+        common::Rng rng(seed * 7 + 1);
+        volunteer::ByzantineMix mix;
+        mix.faulty_fraction = faulty;
+        mix.error_probability = 0.75;
+        s.error_probabilities =
+            volunteer::error_probabilities(s.n_nodes, mix, rng);
+
+        core::Cluster cluster(s);
+        core::RunOutcome last;
+        for (int j = 0; j < kJobsPerFleet; ++j) {
+          last = cluster.run_job();
+          if (last.metrics.completed) ++jobs_ok;
+        }
+
+        for (const auto& [name, digest] : canonical_digests(cluster)) {
+          const auto it = truth.find(name);
+          if (it == truth.end() || digest != it->second) ++invalid_canonicals;
+        }
+        const auto& st = cluster.project().scheduler().stats();
+        spot_checks += st.spot_checks;
+        singles += st.trusted_singles;
+
+        if (!last.metrics.completed) continue;
+        ++measured;
+        makespan += last.metrics.total_seconds;
+        // Replication overhead on the measured (warm) job: results created
+        // per validated WU.
+        const db::Database& db = cluster.project().database();
+        int wus_validated = 0, results_created = 0;
+        db.for_each_workunit([&](const db::WorkUnitRecord& w) {
+          if (w.mr_job == last.job && w.canonical_found) ++wus_validated;
+        });
+        db.for_each_result([&](const db::ResultRecord& r) {
+          if (db.workunit(r.wu).mr_job == last.job) ++results_created;
+        });
+        if (wus_validated > 0) {
+          overhead += static_cast<double>(results_created) / wus_validated;
+        }
+      }
+      if (measured > 0) {
+        overhead /= measured;
+        makespan /= measured;
+      }
+      bench::JsonRow()
+          .field("experiment", "E7b")
+          .field("policy", rep::to_string(mode))
+          .field("faulty_fraction", faulty)
+          .field("seeds", n_seeds)
+          .field("jobs_per_fleet", kJobsPerFleet)
+          .field("jobs_completed", jobs_ok)
+          .field("replication_overhead", overhead)
+          .field("makespan_s", makespan)
+          .field("invalid_canonicals", invalid_canonicals)
+          .field("trusted_singles", singles)
+          .field("spot_checks", spot_checks)
+          .emit();
+    }
+  }
+  std::printf(
+      "\nExpected shape: warm adaptive overhead falls toward ~1.1 results/WU\n"
+      "(spot-checks only) on a clean fleet while fixed stays at >= 2; faulty\n"
+      "hosts never earn trust, so invalid_canonicals stays 0 in both modes.\n");
+}
+
 }  // namespace
 }  // namespace vcmr
 
 int main(int argc, char** argv) {
   vcmr::bench::silence_logs();
-  vcmr::run(argc > 1 ? std::atoi(argv[1]) : 3);
+  const int n_seeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  vcmr::run(n_seeds);
+  vcmr::run_adaptive(n_seeds);
   return 0;
 }

@@ -103,6 +103,7 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
     hproto.cores = spec.cores;
     hproto.mr_capable = ccfg.mr_capable;
     hproto.mr_endpoint = net::Endpoint{node, ccfg.mr_port};
+    hproto.error_rate = scenario_.project.reputation.error_rate_prior;
     const db::HostRecord& hrec = project_->database().create_host(hproto);
 
     if (establisher_ &&
@@ -119,6 +120,8 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
         establisher_.get(), ccfg,
         scenario_.record_trace ? &trace_ : nullptr));
   }
+
+  if (scenario_.record_trace) project_->scheduler().set_trace(&trace_);
 
   if (scenario_.flow_failure_rate > 0) {
     net_->set_flow_failure_rate(scenario_.flow_failure_rate);

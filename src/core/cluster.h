@@ -115,6 +115,7 @@ class Cluster {
   sim::Simulation& simulation() { return *sim_; }
   net::Network& network() { return *net_; }
   server::Project& project() { return *project_; }
+  const server::Project& project() const { return *project_; }
   client::Client& client(std::size_t i) { return *clients_.at(i); }
   std::size_t n_clients() const { return clients_.size(); }
   sim::TraceRecorder& trace() { return trace_; }

@@ -18,6 +18,10 @@ namespace vcmr::core {
 ///   <project>  — mr_jobtracker-style knobs: <target_nresults> <min_quorum>
 ///                <mirror_map_outputs> <report_map_results_immediately>
 ///                <pipelined_reduce> <delay_bound_s> <max_wus_in_progress>
+///   <replication policy="fixed|adaptive">
+///              — vcmr::rep knobs: <min_consecutive_valid> <max_error_rate>
+///                <spot_check_probability> <error_rate_prior>
+///                <error_rate_decay> <trust_max_skips>
 ///   <client>   — <work_buf_min_s> <backoff_min_s> <backoff_max_s>
 ///                <max_file_xfers> <report_results_immediately>
 ///                <peer_fetch_attempts>

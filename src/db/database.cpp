@@ -271,6 +271,12 @@ std::string Database::save() const {
     put_i64(n, "mr_node", h.mr_endpoint.node.value());
     put_i64(n, "mr_port", h.mr_endpoint.port);
     n.add_child_text("total_credit", common::strprintf("%.17g", h.total_credit));
+    put_i64(n, "consecutive_valid", h.consecutive_valid);
+    n.add_child_text("error_rate", common::strprintf("%.17g", h.error_rate));
+    put_i64(n, "results_valid", h.results_valid);
+    put_i64(n, "results_invalid", h.results_invalid);
+    put_i64(n, "results_inconclusive", h.results_inconclusive);
+    put_i64(n, "results_errored", h.results_errored);
   }
   for (const auto& [id, f] : files_) {
     XmlNode& n = root.add_child("file");
@@ -373,6 +379,13 @@ Database Database::load(const std::string& snapshot) {
       h.mr_endpoint = {NodeId{n.child_i64("mr_node")},
                        static_cast<int>(n.child_i64("mr_port"))};
       h.total_credit = n.child_double("total_credit");
+      h.consecutive_valid =
+          static_cast<int>(n.child_i64("consecutive_valid", 0));
+      h.error_rate = n.child_double("error_rate", h.error_rate);
+      h.results_valid = n.child_i64("results_valid", 0);
+      h.results_invalid = n.child_i64("results_invalid", 0);
+      h.results_inconclusive = n.child_i64("results_inconclusive", 0);
+      h.results_errored = n.child_i64("results_errored", 0);
       out.hosts_[h.id] = h;
       out.next_host_ = std::max(out.next_host_, h.id.value() + 1);
     } else if (n.name() == "file") {

@@ -132,6 +132,17 @@ struct HostRecord {
   bool mr_capable = false;  ///< BOINC-MR client (supports inter-client xfer)
   net::Endpoint mr_endpoint;  ///< where it serves map outputs
   double total_credit = 0;    ///< lifetime granted credit
+
+  // Validation history kept by vcmr::rep (BOINC's adaptive-replication host
+  // fields). `error_rate` starts at the pessimistic prior and is
+  // exponentially decayed toward each validate outcome; any invalid result
+  // or runtime error resets the consecutive-valid streak.
+  int consecutive_valid = 0;
+  double error_rate = 0.1;
+  std::int64_t results_valid = 0;
+  std::int64_t results_invalid = 0;
+  std::int64_t results_inconclusive = 0;
+  std::int64_t results_errored = 0;  ///< client errors + timeouts
 };
 
 struct AppRecord {

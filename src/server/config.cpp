@@ -1,6 +1,7 @@
 #include "server/config.h"
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "common/xml.h"
 
 namespace vcmr::server {
@@ -30,6 +31,29 @@ ProjectConfig parse_mr_jobtracker(const std::string& xml, ProjectConfig base) {
   if (root->has_child("pipelined_reduce")) {
     cfg.pipelined_reduce = root->child_i64("pipelined_reduce") != 0;
   }
+  if (const common::XmlNode* r = root->child("replication")) {
+    auto& rc = cfg.reputation;
+    if (const std::string* mode = r->attr("policy")) {
+      rc.mode = rep::policy_mode_from_string(*mode);
+    }
+    rc.min_consecutive_valid = static_cast<int>(
+        r->child_i64("min_consecutive_valid", rc.min_consecutive_valid));
+    rc.max_error_rate = r->child_double("max_error_rate", rc.max_error_rate);
+    rc.spot_check_probability =
+        r->child_double("spot_check_probability", rc.spot_check_probability);
+    rc.error_rate_prior =
+        r->child_double("error_rate_prior", rc.error_rate_prior);
+    rc.error_rate_decay =
+        r->child_double("error_rate_decay", rc.error_rate_decay);
+    rc.trust_max_skips =
+        static_cast<int>(r->child_i64("trust_max_skips", rc.trust_max_skips));
+    require(rc.min_consecutive_valid >= 1,
+            "mr_jobtracker.xml: min_consecutive_valid must be >= 1");
+    require(rc.spot_check_probability >= 0 && rc.spot_check_probability <= 1,
+            "mr_jobtracker.xml: spot_check_probability must be in [0,1]");
+    require(rc.error_rate_decay > 0 && rc.error_rate_decay < 1,
+            "mr_jobtracker.xml: error_rate_decay must be in (0,1)");
+  }
   require(cfg.default_n_maps >= 1, "mr_jobtracker.xml: n_maps must be >= 1");
   require(cfg.default_n_reducers >= 1,
           "mr_jobtracker.xml: n_reducers must be >= 1");
@@ -49,6 +73,21 @@ std::string mr_jobtracker_xml(const ProjectConfig& cfg) {
   root.add_child_text("report_map_results_immediately",
                       cfg.report_map_results_immediately ? "1" : "0");
   root.add_child_text("pipelined_reduce", cfg.pipelined_reduce ? "1" : "0");
+  common::XmlNode& r = root.add_child("replication");
+  r.set_attr("policy", rep::to_string(cfg.reputation.mode));
+  r.add_child_text("min_consecutive_valid",
+                   std::to_string(cfg.reputation.min_consecutive_valid));
+  r.add_child_text("max_error_rate",
+                   common::strprintf("%.6f", cfg.reputation.max_error_rate));
+  r.add_child_text(
+      "spot_check_probability",
+      common::strprintf("%.6f", cfg.reputation.spot_check_probability));
+  r.add_child_text("error_rate_prior",
+                   common::strprintf("%.6f", cfg.reputation.error_rate_prior));
+  r.add_child_text("error_rate_decay",
+                   common::strprintf("%.6f", cfg.reputation.error_rate_decay));
+  r.add_child_text("trust_max_skips",
+                   std::to_string(cfg.reputation.trust_max_skips));
   return root.to_string();
 }
 

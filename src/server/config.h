@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "reputation/reputation.h"
 
 namespace vcmr::server {
 
@@ -18,6 +19,11 @@ struct ProjectConfig {
   int max_total_results = 12;
   /// Per-result report deadline.
   SimTime delay_bound = SimTime::hours(4);
+  /// Host reputation & adaptive replication (vcmr::rep). In `adaptive`
+  /// mode, target_nresults/min_quorum above become the *escalated* quorum
+  /// that untrusted assignees, spot-checks, and disagreements fall back to;
+  /// `fixed` (the default) reproduces the paper's behaviour exactly.
+  rep::ReputationConfig reputation;
 
   // --- daemon cadences -----------------------------------------------------
   SimTime feeder_period = SimTime::seconds(5);

@@ -112,8 +112,9 @@ MrJobId JobTracker::submit(const MrJobSpec& spec) {
       tpl.wu_name = spec.name + "_map_" + std::to_string(i);
       tpl.app_name = spec.app;
       tpl.input_files.push_back({fname, whole.size});
-      tpl.target_nresults = cfg_.target_nresults;
-      tpl.min_quorum = cfg_.min_quorum;
+      const rep::Replication repl = initial_replication();
+      tpl.target_nresults = repl.target_nresults;
+      tpl.min_quorum = repl.min_quorum;
       tpl.delay_bound = cfg_.delay_bound;
       tpl.job_name = spec.name;
       tpl.phase = 1;
@@ -159,8 +160,9 @@ MrJobId JobTracker::submit(const MrJobSpec& spec) {
     tpl.wu_name = spec.name + "_map_" + std::to_string(i);
     tpl.app_name = spec.app;
     tpl.input_files.push_back({fname, chunk.size});
-    tpl.target_nresults = cfg_.target_nresults;
-    tpl.min_quorum = cfg_.min_quorum;
+    const rep::Replication repl = initial_replication();
+    tpl.target_nresults = repl.target_nresults;
+    tpl.min_quorum = repl.min_quorum;
     tpl.delay_bound = cfg_.delay_bound;
     tpl.job_name = spec.name;
     tpl.phase = 1;
@@ -192,8 +194,9 @@ void JobTracker::create_reduce_wus(db::MrJobRecord& job) {
     WuTemplate tpl;
     tpl.wu_name = job.name + "_reduce_" + std::to_string(r);
     tpl.app_name = db_.app(job.app).name;
-    tpl.target_nresults = cfg_.target_nresults;
-    tpl.min_quorum = cfg_.min_quorum;
+    const rep::Replication repl = initial_replication();
+    tpl.target_nresults = repl.target_nresults;
+    tpl.min_quorum = repl.min_quorum;
     tpl.delay_bound = cfg_.delay_bound;
     tpl.job_name = job.name;
     tpl.phase = 2;

@@ -85,6 +85,11 @@ class JobTracker {
   WorkUnitId create_wu_from_template(const std::string& tpl_xml,
                                      db::MrPhase phase, MrJobId job,
                                      int index, double flops_est);
+  /// Replication a freshly staged WU starts with (vcmr::rep decision).
+  rep::Replication initial_replication() const {
+    return rep::initial_replication(
+        cfg_.reputation, {cfg_.target_nresults, cfg_.min_quorum});
+  }
 
   sim::Simulation& sim_;
   db::Database& db_;

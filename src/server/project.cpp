@@ -7,14 +7,19 @@ Project::Project(sim::Simulation& sim, net::HttpService& http,
     : sim_(sim),
       node_(server_node),
       cfg_(cfg),
+      rep_store_(db_, cfg_.reputation),
+      // The spot-check draws get their own named stream, so the fixed
+      // policy stays bit-identical to pre-reputation seeds.
+      rep_policy_(cfg_.reputation, rep_store_,
+                  sim.rng_stream("rep.spotcheck")),
       data_(http, server_node, kDataPort),
       feeder_(db_, cfg_.feeder_cache_size),
-      transitioner_(db_, cfg_),
-      validator_(db_, cfg_),
+      transitioner_(db_, cfg_, &rep_store_),
+      validator_(db_, cfg_, &rep_store_),
       assimilator_(db_),
       jobtracker_(sim, db_, data_, cfg_),
       scheduler_(sim, db_, feeder_, jobtracker_, cfg_, http,
-                 net::Endpoint{server_node, kSchedulerPort}),
+                 net::Endpoint{server_node, kSchedulerPort}, &rep_policy_),
       feeder_daemon_(sim, "feeder"),
       transitioner_daemon_(sim, "transitioner"),
       validator_daemon_(sim, "validator"),

@@ -10,6 +10,7 @@
 
 #include "db/database.h"
 #include "net/http.h"
+#include "reputation/reputation.h"
 #include "server/assimilator.h"
 #include "server/config.h"
 #include "server/daemon.h"
@@ -40,6 +41,8 @@ class Project {
   // --- component access -----------------------------------------------------
   db::Database& database() { return db_; }
   const db::Database& database() const { return db_; }
+  rep::ReputationStore& reputation() { return rep_store_; }
+  const rep::ReputationStore& reputation() const { return rep_store_; }
   DataServer& data_server() { return data_; }
   JobTracker& jobtracker() { return jobtracker_; }
   Scheduler& scheduler() { return scheduler_; }
@@ -57,6 +60,8 @@ class Project {
   NodeId node_;
   ProjectConfig cfg_;
   db::Database db_;
+  rep::ReputationStore rep_store_;
+  rep::AdaptiveReplicationPolicy rep_policy_;
   DataServer data_;
   Feeder feeder_;
   Transitioner transitioner_;

@@ -13,14 +13,16 @@ common::Logger log_("scheduler");
 
 Scheduler::Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
                      JobTracker& jobtracker, const ProjectConfig& cfg,
-                     net::HttpService& http, net::Endpoint ep)
+                     net::HttpService& http, net::Endpoint ep,
+                     rep::AdaptiveReplicationPolicy* policy)
     : sim_(sim),
       db_(db),
       feeder_(feeder),
       jobtracker_(jobtracker),
       cfg_(cfg),
       http_(http),
-      ep_(ep) {
+      ep_(ep),
+      policy_(policy) {
   http_.listen(ep_, [this](const net::HttpRequest& req,
                            net::HttpRespondFn respond) {
     // Parse off the wire, then model the CGI's processing time before the
@@ -137,6 +139,10 @@ void Scheduler::handle_report(HostId host, const proto::ReportedResult& rep) {
 
   r->server_state = db::ServerState::kOver;
   r->outcome = rep.success ? db::Outcome::kSuccess : db::Outcome::kClientError;
+  if (!rep.success && policy_) {
+    // Runtime failure: break the host's valid streak right away.
+    policy_->store().record_error(host);
+  }
   r->received_time = sim_.now();
   r->output_digest = rep.digest;
   r->output_bytes = rep.output_bytes;
@@ -211,6 +217,8 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
       if (est_seconds > wu.delay_bound.as_seconds()) continue;
     }
 
+    if (!apply_trust_policy(r, wu, host)) continue;
+
     if (cfg_.locality_aware_reduce && wu.mr_phase == db::MrPhase::kReduce) {
       // Delay scheduling with a best-holder criterion: every mapper holds
       // one file of each partition, so "holds anything" is vacuous. Hold
@@ -249,6 +257,60 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
     reply.tasks.push_back(build_task(r, wu));
     filled_seconds += wu.flops_est / hrec.flops;
   }
+}
+
+bool Scheduler::apply_trust_policy(const db::ResultRecord& r,
+                                   db::WorkUnitRecord& wu, HostId host) {
+  // Only single-replica (trust-gated) work units are in play: in fixed mode
+  // none exist, and an escalated WU already carries the full quorum.
+  if (policy_ == nullptr || !policy_->adaptive() || wu.min_quorum > 1) {
+    return true;
+  }
+
+  const auto escalate = [&] {
+    // Fall back to the paper's quorum; the transitioner mints the extra
+    // replicas (and keeps minting on disagreement) until one forms.
+    wu.target_nresults = std::max(wu.target_nresults, cfg_.target_nresults);
+    wu.min_quorum = cfg_.min_quorum;
+    db_.flag_transition(wu.id);
+  };
+
+  if (!policy_->store().is_trusted(host)) {
+    // Prefer trusted hosts for single-replica work: defer a bounded number
+    // of times, then hand it out escalated so nothing starves.
+    if (trust_skips_[r.id] < cfg_.reputation.trust_max_skips) {
+      ++trust_skips_[r.id];
+      ++stats_.trust_skips;
+      return false;
+    }
+    escalate();
+    ++stats_.trust_escalations;
+    if (trace_) {
+      trace_->point(sim_.now(), "scheduler", "trust_escalate", r.name);
+    }
+    return true;
+  }
+
+  switch (policy_->decide_assignment(host)) {
+    case rep::AssignmentDecision::kSpotCheck:
+      escalate();
+      ++stats_.spot_checks;
+      if (trace_) trace_->point(sim_.now(), "scheduler", "spot_check", r.name);
+      break;
+    case rep::AssignmentDecision::kSingle:
+      ++stats_.trusted_singles;
+      if (trace_) {
+        trace_->point(sim_.now(), "scheduler", "trust_single", r.name);
+      }
+      break;
+    case rep::AssignmentDecision::kEscalate:
+      // Unreachable: trust was checked above, but keep the conservative
+      // fallback so a racing demotion still replicates.
+      escalate();
+      ++stats_.trust_escalations;
+      break;
+  }
+  return true;
 }
 
 proto::AssignedTask Scheduler::build_task(const db::ResultRecord& r,

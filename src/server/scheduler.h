@@ -14,10 +14,12 @@
 #include "db/database.h"
 #include "net/http.h"
 #include "proto/messages.h"
+#include "reputation/reputation.h"
 #include "server/config.h"
 #include "server/feeder.h"
 #include "server/jobtracker.h"
 #include "sim/simulation.h"
+#include "sim/trace.h"
 
 namespace vcmr::server {
 
@@ -30,13 +32,23 @@ struct SchedulerStats {
   std::int64_t locality_hits = 0;  ///< reduce results placed on data holders
   std::int64_t locality_skips = 0; ///< deferrals waiting for a holder
   std::int64_t input_peers_attached = 0;  ///< cacher endpoints handed out
+
+  // Adaptive replication (vcmr::rep) trust decisions.
+  std::int64_t trusted_singles = 0;   ///< dispatched as a lone replica
+  std::int64_t spot_checks = 0;       ///< trusted host, replicated anyway
+  std::int64_t trust_escalations = 0; ///< untrusted host forced a full quorum
+  std::int64_t trust_skips = 0;       ///< deferrals waiting for a trusted host
 };
 
 class Scheduler {
  public:
+  /// `policy` (optional) drives adaptive replication: single-replica work
+  /// prefers trusted hosts, and each first assignment decides whether the
+  /// work unit stays single or escalates to the full quorum.
   Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
             JobTracker& jobtracker, const ProjectConfig& cfg,
-            net::HttpService& http, net::Endpoint ep);
+            net::HttpService& http, net::Endpoint ep,
+            rep::AdaptiveReplicationPolicy* policy = nullptr);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -44,6 +56,9 @@ class Scheduler {
 
   net::Endpoint endpoint() const { return ep_; }
   const SchedulerStats& stats() const { return stats_; }
+
+  /// Optional trace sink; trust decisions are emitted as scheduler points.
+  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
 
   /// Handles one request synchronously (testing hook; the HTTP path adds
   /// the RPC service delay around this).
@@ -57,6 +72,11 @@ class Scheduler {
                                  const db::WorkUnitRecord& wu);
   void note_cached_files(HostId host, const std::vector<std::string>& files);
   bool host_may_be_needed(HostId host) const;
+  /// Adaptive-replication gate for one candidate (result, host) pair.
+  /// Returns false to defer the result for a trusted host; may escalate the
+  /// WU to the full quorum before the caller assigns.
+  bool apply_trust_policy(const db::ResultRecord& r, db::WorkUnitRecord& wu,
+                          HostId host);
 
   sim::Simulation& sim_;
   db::Database& db_;
@@ -65,8 +85,11 @@ class Scheduler {
   const ProjectConfig& cfg_;
   net::HttpService& http_;
   net::Endpoint ep_;
+  rep::AdaptiveReplicationPolicy* policy_;
+  sim::TraceRecorder* trace_ = nullptr;
   SchedulerStats stats_;
   std::map<ResultId, int> locality_skips_;  ///< delay-scheduling counters
+  std::map<ResultId, int> trust_skips_;     ///< trusted-host deferral counters
   /// Peer-assisted input distribution: file name -> hosts serving it.
   std::map<std::string, std::vector<HostId>> input_cachers_;
 };

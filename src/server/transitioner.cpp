@@ -9,6 +9,7 @@ void Transitioner::pass(SimTime now) {
     r.server_state = db::ServerState::kOver;
     r.outcome = db::Outcome::kNoReply;
     ++stats_.results_timed_out;
+    if (rep_ && r.host.valid()) rep_->record_error(r.host);
     db_.flag_transition(r.wu);
   }
 

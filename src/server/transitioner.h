@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "db/database.h"
+#include "reputation/reputation.h"
 #include "server/config.h"
 
 namespace vcmr::server {
@@ -24,8 +25,10 @@ struct TransitionerStats {
 
 class Transitioner {
  public:
-  Transitioner(db::Database& db, const ProjectConfig& cfg)
-      : db_(db), cfg_(cfg) {}
+  /// `rep` (optional): missed deadlines break the host's valid streak.
+  Transitioner(db::Database& db, const ProjectConfig& cfg,
+               rep::ReputationStore* rep = nullptr)
+      : db_(db), cfg_(cfg), rep_(rep) {}
 
   /// One daemon pass at simulated time `now`.
   void pass(SimTime now);
@@ -42,6 +45,7 @@ class Transitioner {
 
   db::Database& db_;
   const ProjectConfig& cfg_;
+  rep::ReputationStore* rep_;
   TransitionerStats stats_;
   std::function<void(WorkUnitId)> on_error_;
 };

@@ -66,6 +66,7 @@ void Validator::check(db::WorkUnitRecord& wu, SimTime now) {
           r.outcome == db::Outcome::kSuccess &&
           r.validate_state == db::ValidateState::kInit) {
         r.validate_state = db::ValidateState::kInconclusive;
+        if (rep_ && r.host.valid()) rep_->record_inconclusive(r.host);
       }
     }
     if (all_over) {
@@ -103,11 +104,15 @@ void Validator::check(db::WorkUnitRecord& wu, SimTime now) {
     if (r.output_digest == wu.canonical_digest) {
       r.validate_state = db::ValidateState::kValid;
       r.granted_credit = grant;
-      if (r.host.valid()) db_.host(r.host).total_credit += grant;
+      if (r.host.valid()) {
+        db_.host(r.host).total_credit += grant;
+        if (rep_) rep_->record_valid(r.host);
+      }
       ++stats_.results_valid;
     } else {
       r.validate_state = db::ValidateState::kInvalid;
       r.outcome = db::Outcome::kValidateError;
+      if (rep_ && r.host.valid()) rep_->record_invalid(r.host);
       ++stats_.results_invalid;
     }
   }

@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "db/database.h"
+#include "reputation/reputation.h"
 #include "server/config.h"
 
 namespace vcmr::server {
@@ -24,7 +25,11 @@ struct ValidatorStats {
 
 class Validator {
  public:
-  Validator(db::Database& db, const ProjectConfig& cfg) : db_(db), cfg_(cfg) {}
+  /// `rep` (optional) receives every validate outcome, so hosts earn and
+  /// lose the trust the adaptive replication policy acts on.
+  Validator(db::Database& db, const ProjectConfig& cfg,
+            rep::ReputationStore* rep = nullptr)
+      : db_(db), cfg_(cfg), rep_(rep) {}
 
   /// One daemon pass at simulated time `now`.
   void pass(SimTime now);
@@ -41,6 +46,7 @@ class Validator {
 
   db::Database& db_;
   const ProjectConfig& cfg_;
+  rep::ReputationStore* rep_;
   ValidatorStats stats_;
   std::function<void(WorkUnitId)> on_validated_;
 };

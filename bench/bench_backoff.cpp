@@ -42,6 +42,19 @@ void run_sweep(int n_seeds) {
                 bench::cell(avg.reduce_avg, avg.reduce_trimmed).c_str(),
                 bench::cell(avg.total, avg.total_trimmed).c_str(), avg.gap,
                 rpcs, backoffs);
+    bench::JsonRow()
+        .field("experiment", "E3")
+        .field("backoff_cap_s", cap)
+        .field("seeds", avg.runs)
+        .field("completed", avg.completed)
+        .field("map_s", avg.map_avg)
+        .field("reduce_s", avg.reduce_avg)
+        .field("total_s", avg.total)
+        .field("total_trimmed_s", avg.total_trimmed)
+        .field("gap_s", avg.gap)
+        .field("rpcs_per_job", rpcs)
+        .field("backoffs_per_job", backoffs)
+        .emit();
   }
   std::printf(
       "\nExpected shape: totals grow with the cap (stragglers wait longer to\n"

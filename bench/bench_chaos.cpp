@@ -1,0 +1,187 @@
+// E16 — Chaos sweep: makespan degradation and recovery time vs fault rate.
+//
+// Drives the vcmr::fault engine over the Table-I-style 8-node word-count
+// job and sweeps each fault family's intensity: client crashes, scheduler
+// RPC loss, upload corruption, data-server outages, and link flapping. For
+// every (family, intensity) point the sweep reports completion rate,
+// average makespan, degradation and recovery time versus the same seeds
+// with no faults, and the injected/recovered fault counters — one JSON
+// line per point (machine-readable, diffable across runs).
+//
+// "Recovery time" is the chaos run's makespan minus the fault-free
+// makespan of the identical seed: the extra wall-clock the fleet spent
+// re-downloading, re-executing, and re-validating work the faults
+// destroyed. Everything is deterministic per seed; rerunning this binary
+// reproduces every line bit-for-bit.
+
+#include "bench_util.h"
+
+namespace vcmr {
+namespace {
+
+constexpr std::uint64_t kFirstSeed = 300;
+
+core::Scenario chaos_scenario(std::uint64_t seed) {
+  core::Scenario s;
+  s.seed = seed;
+  s.n_nodes = 8;
+  s.n_maps = 6;
+  s.n_reducers = 2;
+  s.input_size = 60LL * 1000 * 1000;
+  s.boinc_mr = true;
+  // Crash recovery rides the transitioner's deadline pass; the default 4 h
+  // bound would park lost work until long after the fault-free makespan.
+  s.project.delay_bound = SimTime::minutes(5);
+  // Corruption burns error budget; leave quorums room to retry.
+  s.project.max_error_results = 10;
+  s.project.max_total_results = 20;
+  s.time_limit = SimTime::hours(6);
+  return s;
+}
+
+struct Point {
+  int runs = 0;
+  int completed = 0;
+  double makespan = 0;       ///< avg over completed runs
+  double recovery = 0;       ///< avg makespan - baseline, completed runs
+  std::int64_t injected = 0;
+  std::int64_t recovered = 0;
+  std::int64_t backoffs = 0;
+  std::int64_t fallbacks = 0;
+};
+
+Point sweep_point(int n_seeds, const std::vector<double>& baseline,
+                  const std::function<void(core::Scenario&)>& apply) {
+  Point p;
+  for (int i = 0; i < n_seeds; ++i) {
+    core::Scenario s = chaos_scenario(kFirstSeed + i);
+    apply(s);
+    core::Cluster cluster(s);
+    const core::RunOutcome out = cluster.run_job();
+    ++p.runs;
+    p.injected += out.faults.injected();
+    p.recovered += out.faults.recovered();
+    p.backoffs += out.backoffs;
+    p.fallbacks += out.server_fallbacks;
+    if (!out.metrics.completed) continue;
+    ++p.completed;
+    p.makespan += out.metrics.total_seconds;
+    p.recovery += out.metrics.total_seconds - baseline[i];
+  }
+  if (p.completed > 0) {
+    p.makespan /= p.completed;
+    p.recovery /= p.completed;
+  }
+  return p;
+}
+
+void emit(const std::string& family, double intensity, double base,
+          const Point& p) {
+  bench::JsonRow()
+      .field("experiment", "E16")
+      .field("fault", family)
+      .field("intensity", intensity)
+      .field("runs", p.runs)
+      .field("completed", p.completed)
+      .field("baseline_s", base)
+      .field("makespan_s", p.makespan)
+      .field("degradation_pct",
+             base > 0 ? 100.0 * (p.makespan - base) / base : 0.0)
+      .field("recovery_s", p.recovery)
+      .field("faults_injected", p.injected)
+      .field("faults_recovered", p.recovered)
+      .field("backoffs", p.backoffs)
+      .field("server_fallbacks", p.fallbacks)
+      .emit();
+}
+
+void run(int n_seeds) {
+  std::printf(
+      "E16 — CHAOS SWEEP (8 nodes, 6 maps, 2 reducers, 60 MB, %d seeds)\n"
+      "one JSON line per (fault family, intensity) point\n\n",
+      n_seeds);
+
+  // Fault-free makespan per seed: the recovery-time yardstick.
+  std::vector<double> baseline;
+  double base_avg = 0;
+  for (int i = 0; i < n_seeds; ++i) {
+    core::Cluster cluster(chaos_scenario(kFirstSeed + i));
+    const core::RunOutcome out = cluster.run_job();
+    baseline.push_back(out.metrics.total_seconds);
+    base_avg += out.metrics.total_seconds;
+  }
+  base_avg /= n_seeds;
+
+  // Client crashes: n hosts crash staggered mid-map, restart 60 s later.
+  for (const int crashes : {0, 1, 2, 3}) {
+    const Point p =
+        sweep_point(n_seeds, baseline, [crashes](core::Scenario& s) {
+          for (int c = 0; c < crashes; ++c) {
+            fault::ClientCrash cc;
+            cc.host = c;
+            cc.at = SimTime::seconds(20 + 15 * c);
+            cc.restart_at = cc.at + SimTime::seconds(60);
+            s.faults.crashes.push_back(cc);
+          }
+        });
+    emit("crash", crashes, base_avg, p);
+  }
+
+  // Scheduler/report RPC loss.
+  for (const double rate : {0.1, 0.25, 0.5}) {
+    const Point p = sweep_point(n_seeds, baseline, [rate](core::Scenario& s) {
+      s.faults.rpc_loss_rate = rate;
+    });
+    emit("rpc_loss", rate, base_avg, p);
+  }
+
+  // Upload corruption (caught by the quorum validator; work re-issued).
+  for (const double rate : {0.1, 0.25}) {
+    const Point p = sweep_point(n_seeds, baseline, [rate](core::Scenario& s) {
+      s.faults.upload_corruption_rate = rate;
+    });
+    emit("corruption", rate, base_avg, p);
+  }
+
+  // Data-server outage of increasing length, starting during the map
+  // download wave.
+  for (const double outage_s : {30.0, 90.0}) {
+    const Point p =
+        sweep_point(n_seeds, baseline, [outage_s](core::Scenario& s) {
+          fault::ServerOutage o;
+          o.down_at = SimTime::seconds(10);
+          o.up_at = o.down_at + SimTime::seconds(outage_s);
+          s.faults.server_outages.push_back(o);
+        });
+    emit("server_outage", outage_s, base_avg, p);
+  }
+
+  // Random link flapping, increasing mean downtime (2 min mean uptime).
+  for (const double down_s : {5.0, 15.0}) {
+    const Point p =
+        sweep_point(n_seeds, baseline, [down_s](core::Scenario& s) {
+          fault::LinkFlap flap;
+          flap.mean_up = SimTime::minutes(2);
+          flap.mean_down = SimTime::seconds(down_s);
+          s.faults.link_flap = flap;
+        });
+    emit("link_flap", down_s, base_avg, p);
+  }
+
+  std::printf(
+      "\nExpected shape: the crash=0 row matches the baseline exactly (the\n"
+      "empty plan wires nothing); makespan and recovery_s climb with every\n"
+      "family's intensity while completion stays at 100%% — the BOINC\n"
+      "deadline/retry/quorum machinery absorbs all of it, at a latency\n"
+      "cost.\n");
+}
+
+}  // namespace
+}  // namespace vcmr
+
+int main(int argc, char** argv) {
+  vcmr::bench::silence_logs();
+  const int n_seeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  vcmr::run(n_seeds);
+  return 0;
+}

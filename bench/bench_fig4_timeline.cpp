@@ -57,8 +57,28 @@ void run_fig4(std::uint64_t seed) {
     std::printf("%-14s %-8s %9.1f %9.1f %9.1f %10.1f %12.1f\n",
                 t.result_name.c_str(), t.host_name.c_str(), t.sent_seconds,
                 up, t.received_seconds, t.interval(), delay);
+    bench::JsonRow()
+        .field("experiment", "E2")
+        .field("result", t.result_name)
+        .field("host", t.host_name)
+        .field("assigned_s", t.sent_seconds)
+        .field("uploaded_s", up)
+        .field("reported_s", t.received_seconds)
+        .field("interval_s", t.interval())
+        .field("report_delay_s", delay)
+        .emit();
   }
 
+  bench::JsonRow()
+      .field("experiment", "E2")
+      .field("summary", true)
+      .field("seed", static_cast<std::int64_t>(seed))
+      .field("straggler", straggler)
+      .field("max_report_delay_s", max_delay)
+      .field("map_span_s", m.map.span_seconds)
+      .field("map_span_trimmed_s", m.map.span_seconds_trimmed)
+      .field("gap_s", m.map_to_reduce_gap_seconds)
+      .emit();
   std::printf("\nupload->report delay: %s\n", delays.str().c_str());
   std::printf("slowest reporter: %s (delayed its report by %.0f s; backoff cap "
               "is %.0f s)\n",

@@ -48,6 +48,21 @@ void run(int n_seeds) {
                     bench::cell(avg.reduce_avg, avg.reduce_trimmed).c_str(),
                     bench::cell(avg.total, avg.total_trimmed).c_str(),
                     avg.server_out_mb, avg.server_in_mb, avg.interclient_mb);
+        bench::JsonRow()
+            .field("experiment", "E6")
+            .field("variant", v.name)
+            .field("input_mb", static_cast<std::int64_t>(input / 1000000))
+            .field("reducers", reds)
+            .field("mirror_map_outputs", v.mirror)
+            .field("boinc_mr", v.mr)
+            .field("seeds", avg.runs)
+            .field("completed", avg.completed)
+            .field("reduce_s", avg.reduce_avg)
+            .field("total_s", avg.total)
+            .field("server_out_mb", avg.server_out_mb)
+            .field("server_in_mb", avg.server_in_mb)
+            .field("interclient_mb", avg.interclient_mb)
+            .emit();
       }
       std::printf("%s\n", std::string(104, '-').c_str());
     }

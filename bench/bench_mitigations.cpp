@@ -58,6 +58,24 @@ void run(int n_seeds) {
                   bench::cell(avg.reduce_avg, avg.reduce_trimmed).c_str(),
                   bench::cell(avg.total, avg.total_trimmed).c_str(), avg.gap,
                   rpcs);
+      bench::JsonRow()
+          .field("experiment", "E4E5")
+          .field("variant", v.name)
+          .field("nodes", nodes)
+          .field("maps", maps)
+          .field("reducers", reds)
+          .field("immediate_report", v.immediate_report)
+          .field("pipelined_reduce", v.pipelined)
+          .field("boinc_mr", v.boinc_mr)
+          .field("seeds", avg.runs)
+          .field("completed", avg.completed)
+          .field("map_s", avg.map_avg)
+          .field("map_trimmed_s", avg.map_trimmed)
+          .field("reduce_s", avg.reduce_avg)
+          .field("total_s", avg.total)
+          .field("gap_s", avg.gap)
+          .field("rpcs_per_job", rpcs)
+          .emit();
     }
   }
   std::printf(

@@ -58,6 +58,25 @@ void run_table(int n_seeds) {
                 bench::cell(avg.reduce_avg, avg.reduce_trimmed).c_str(),
                 bench::cell(avg.total, avg.total_trimmed).c_str(), avg.gap,
                 avg.server_out_mb, avg.server_in_mb, avg.interclient_mb);
+    bench::JsonRow()
+        .field("experiment", "E1")
+        .field("client", r.boinc_mr ? "BOINC-MR" : "BOINC")
+        .field("nodes", r.nodes)
+        .field("maps", r.maps)
+        .field("reducers", r.reds)
+        .field("seeds", avg.runs)
+        .field("completed", avg.completed)
+        .field("map_s", avg.map_avg)
+        .field("map_trimmed_s", avg.map_trimmed)
+        .field("reduce_s", avg.reduce_avg)
+        .field("reduce_trimmed_s", avg.reduce_trimmed)
+        .field("total_s", avg.total)
+        .field("total_trimmed_s", avg.total_trimmed)
+        .field("gap_s", avg.gap)
+        .field("server_out_mb", avg.server_out_mb)
+        .field("server_in_mb", avg.server_in_mb)
+        .field("interclient_mb", avg.interclient_mb)
+        .emit();
   }
 
   std::printf(

@@ -183,16 +183,21 @@ void Client::do_rpc() {
   hreq.path = "/scheduler";
   hreq.body = proto::to_xml(req);
   hreq.body_size = static_cast<Bytes>(hreq.body.size());
+  const std::int64_t epoch = rpc_epoch_;
   http_.request(
       node_, scheduler_ep_, std::move(hreq),
-      [this, requesting, reported_ids](const net::HttpResponse& resp) {
+      [this, requesting, reported_ids, epoch](const net::HttpResponse& resp) {
+        if (epoch != rpc_epoch_) return;  // reply from before a crash
         if (!resp.ok()) {
           on_rpc_fail(reported_ids);
           return;
         }
         on_reply(proto::reply_from_xml(resp.body), requesting, reported_ids);
       },
-      [this, reported_ids](net::NetError) { on_rpc_fail(reported_ids); });
+      [this, reported_ids, epoch](net::NetError) {
+        if (epoch != rpc_epoch_) return;
+        on_rpc_fail(reported_ids);
+      });
 }
 
 void Client::on_rpc_fail(std::vector<std::int64_t> reported_ids) {
@@ -574,6 +579,20 @@ void Client::finish_execution(Task& task) {
     for (auto& out : task.outputs) out.digest.lo ^= 1;
   }
 
+  // Fault injection: an injected upload corruption looks exactly like a
+  // faulty host to the server. The flip is keyed by host id so two
+  // corrupted replicas of one work unit can never agree into a quorum.
+  if (corrupt_hook_ && corrupt_hook_()) {
+    task.digest.lo ^=
+        (0x9e3779b97f4a7c15ull *
+         (static_cast<std::uint64_t>(host_id_.value()) + 2)) | 1ull;
+    for (auto& [name, payload] : task.pending_uploads) {
+      (void)name;
+      payload.digest.lo ^= 1;
+    }
+    for (auto& out : task.outputs) out.digest.lo ^= 1;
+  }
+
   // Outputs now exist on this client's disk; a later reduce task assigned
   // here reads them locally instead of fetching (data locality).
   for (const auto& [name, payload] : task.pending_uploads) {
@@ -734,6 +753,49 @@ void Client::set_online(bool online) {
   }
   pump_downloads();
   maybe_execute();
+  consider_rpc();
+}
+
+// --- crash/restart (fault injection) ---------------------------------------
+
+void Client::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++rpc_epoch_;  // any reply to an in-flight RPC is now stale
+  rpc_in_flight_ = false;
+  sim_.cancel(rpc_event_);
+  rpc_event_ = sim::EventHandle{};
+  for (auto& [id, t] : tasks_) {
+    sim_.cancel(t.run_event);
+    if (t.state == TaskState::kRunning) trace_end(t.compute_span);
+  }
+  // Everything on disk and in memory is gone. In-flight transfer callbacks
+  // find no task and fizzle; downloads_active_ drains through them, so it
+  // is deliberately not reset here.
+  tasks_.clear();
+  download_queue_.clear();
+  running_count_ = 0;
+  local_files_.clear();
+  cached_input_names_.clear();
+  serve_.withdraw_all();
+  backoff_.reset();
+  backoff_until_ = SimTime::zero();
+  if (online_) {
+    online_ = false;
+    net_.set_online(node_, false);
+  }
+  log_.info(actor_, ": crashed at t=", sim_.now().str());
+  trace_point("crash", "");
+}
+
+void Client::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  online_ = true;
+  net_.set_online(node_, true);
+  next_allowed_rpc_ = sim_.now();
+  log_.info(actor_, ": restarted at t=", sim_.now().str());
+  trace_point("restart", "");
   consider_rpc();
 }
 

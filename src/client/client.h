@@ -120,6 +120,24 @@ class Client {
   void set_online(bool online);
   bool online() const { return online_; }
 
+  /// Fault injection: the client process dies. Unlike set_online(false),
+  /// nothing survives — in-flight tasks, downloaded inputs, and the map
+  /// outputs this host was serving are all lost, so reducers must re-fetch
+  /// (or fall back) and the server re-issues the host's results when their
+  /// report deadlines pass.
+  void crash();
+  /// Recovers from crash(): comes back empty-handed and re-contacts the
+  /// scheduler as a fresh work fetch.
+  void restart();
+  bool crashed() const { return crashed_; }
+
+  /// Fault injection: when set, consulted once per finished task; returning
+  /// true corrupts the reported digest and staged outputs (exercising the
+  /// quorum validator exactly like a byzantine host).
+  void set_upload_corruption_hook(std::function<bool()> hook) {
+    corrupt_hook_ = std::move(hook);
+  }
+
   HostId host_id() const { return host_id_; }
   NodeId node() const { return node_; }
   const ClientStats& stats() const { return stats_; }
@@ -223,7 +241,12 @@ class Client {
 
   bool online_ = true;
   bool started_ = false;
+  bool crashed_ = false;
   bool rpc_in_flight_ = false;
+  /// Bumped by crash(): replies to RPCs issued in an earlier life are stale
+  /// and must be ignored even if the network still delivers them.
+  std::int64_t rpc_epoch_ = 0;
+  std::function<bool()> corrupt_hook_;
   bool server_wants_immediate_reports_ = false;
   SimTime next_allowed_rpc_;
   SimTime backoff_until_;

@@ -129,6 +129,42 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
     // volunteer-to-volunteer edges are flaky.
     net_->set_failure_exempt_node(server_node_);
   }
+
+  if (!scenario_.faults.empty()) {
+    fault::Hooks hooks;
+    hooks.set_link = [this](int host, bool up) {
+      net_->set_online(clients_[static_cast<std::size_t>(host)]->node(), up);
+    };
+    hooks.set_partition = [this](const std::vector<int>& hosts, int cls) {
+      for (const int h : hosts) {
+        net_->set_partition_class(
+            clients_[static_cast<std::size_t>(h)]->node(), cls);
+      }
+    };
+    hooks.set_data_server = [this](bool up) {
+      project_->data_server().set_available(up);
+    };
+    hooks.crash_client = [this](int host) {
+      clients_[static_cast<std::size_t>(host)]->crash();
+    };
+    hooks.restart_client = [this](int host) {
+      clients_[static_cast<std::size_t>(host)]->restart();
+    };
+    injector_ = std::make_unique<fault::Injector>(
+        *sim_, scenario_.faults, std::move(hooks), scenario_.n_nodes,
+        scenario_.record_trace ? &trace_ : nullptr);
+    if (injector_->wants_message_loss()) {
+      net_->set_message_drop_hook(
+          [this] { return injector_->drop_message_draw(); });
+    }
+    if (injector_->wants_upload_corruption()) {
+      for (auto& c : clients_) {
+        c->set_upload_corruption_hook(
+            [this] { return injector_->corrupt_upload_draw(); });
+      }
+    }
+    injector_->arm();
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -196,6 +232,7 @@ std::vector<RunOutcome> Cluster::run_jobs(
       out.local_read_bytes += c->stats().bytes_read_locally;
     }
     if (establisher_) out.traversal = establisher_->stats();
+    if (injector_) out.faults = injector_->stats();
 
     log_.info("job ", job.value(), out.metrics.completed ? " completed" :
               (out.metrics.failed ? " FAILED" : " timed out"),

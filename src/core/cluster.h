@@ -14,6 +14,7 @@
 
 #include "client/client.h"
 #include "core/metrics.h"
+#include "fault/fault.h"
 #include "mr/keyvalue.h"
 #include "net/overlay.h"
 #include "net/traversal.h"
@@ -71,6 +72,9 @@ struct Scenario {
   /// this mix with the scenario seed.
   std::optional<volunteer::ByzantineMix> byzantine;
   double flow_failure_rate = 0.0;       ///< injected inter-client failures
+  /// Deterministic fault schedule (vcmr::fault); empty = no engine wired,
+  /// bit-identical to pre-fault behaviour.
+  fault::FaultPlan faults;
   bool record_trace = false;            ///< per-host timeline (Fig. 4)
 
   SimTime time_limit = SimTime::hours(12);
@@ -90,6 +94,7 @@ struct RunOutcome {
   std::int64_t server_fallbacks = 0;
   std::int64_t peer_fetch_attempts = 0;
   net::TraversalStats traversal;
+  fault::FaultStats faults;         ///< injected/recovered fault counters
 };
 
 class Cluster {
@@ -123,6 +128,8 @@ class Cluster {
   const Scenario& scenario() const { return scenario_; }
   net::ConnectionEstablisher* establisher() { return establisher_.get(); }
   net::SupernodeOverlay* overlay() { return overlay_.get(); }
+  /// Null when the scenario has no faults.
+  fault::Injector* injector() { return injector_.get(); }
 
   /// Merged, key-sorted final output of a completed materialised-mode job
   /// (parses the canonical reduce outputs staged on the data server).
@@ -140,6 +147,7 @@ class Cluster {
   client::PeerRegistry registry_;
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::unique_ptr<volunteer::AvailabilityModel> churn_;
+  std::unique_ptr<fault::Injector> injector_;
   sim::TraceRecorder trace_;
   bool started_ = false;
 };

@@ -133,6 +133,58 @@ Scenario scenario_from_xml(const std::string& xml) {
     s.byzantine = mix;
   }
 
+  if (const XmlNode* f = root->child("faults")) {
+    // Times are seconds; an absent up/heal/restart element means the fault
+    // is never recovered. Host indices are 0-based volunteer indices.
+    const auto when = [](const XmlNode& n, std::string_view name) {
+      return n.has_child(name)
+                 ? SimTime::seconds(n.child_double(name, 0))
+                 : SimTime::infinity();
+    };
+    for (const XmlNode* lf : f->children("link_fault")) {
+      fault::LinkFault x;
+      x.host = static_cast<int>(lf->child_i64("host", -1));
+      x.down_at = SimTime::seconds(lf->child_double("down_s", 0));
+      x.up_at = when(*lf, "up_s");
+      s.faults.link_faults.push_back(x);
+    }
+    for (const XmlNode* p : f->children("partition")) {
+      fault::Partition x;
+      for (const std::string& tok :
+           common::split(p->child_text("hosts"), ',')) {
+        std::int64_t v = 0;
+        require(common::parse_i64(common::trim(tok), &v),
+                "scenario xml: bad <partition><hosts> list");
+        x.hosts.push_back(static_cast<int>(v));
+      }
+      x.at = SimTime::seconds(p->child_double("at_s", 0));
+      x.heal_at = when(*p, "heal_s");
+      s.faults.partitions.push_back(std::move(x));
+    }
+    for (const XmlNode* o : f->children("server_outage")) {
+      fault::ServerOutage x;
+      x.down_at = SimTime::seconds(o->child_double("down_s", 0));
+      x.up_at = when(*o, "up_s");
+      s.faults.server_outages.push_back(x);
+    }
+    for (const XmlNode* c : f->children("crash")) {
+      fault::ClientCrash x;
+      x.host = static_cast<int>(c->child_i64("host", -1));
+      x.at = SimTime::seconds(c->child_double("at_s", 0));
+      x.restart_at = when(*c, "restart_s");
+      s.faults.crashes.push_back(x);
+    }
+    if (const XmlNode* fl = f->child("link_flap")) {
+      fault::LinkFlap x;
+      x.mean_up = SimTime::seconds(fl->child_double("mean_up_s", 1800));
+      x.mean_down = SimTime::seconds(fl->child_double("mean_down_s", 60));
+      s.faults.link_flap = x;
+    }
+    s.faults.upload_corruption_rate =
+        f->child_double("upload_corruption_rate", 0);
+    s.faults.rpc_loss_rate = f->child_double("rpc_loss_rate", 0);
+  }
+
   require(s.n_nodes >= 1 && s.n_maps >= 1 && s.n_reducers >= 1,
           "scenario xml: nodes/maps/reducers must be >= 1");
   return s;
@@ -235,6 +287,60 @@ std::string scenario_to_xml(const Scenario& s) {
                      common::strprintf("%.4f", s.byzantine->faulty_fraction));
     b.add_child_text("error_probability",
                      common::strprintf("%.4f", s.byzantine->error_probability));
+  }
+  if (!s.faults.empty()) {
+    XmlNode& f = root.add_child("faults");
+    const auto secs = [](SimTime t) {
+      return common::strprintf("%.6f", t.as_seconds());
+    };
+    for (const auto& lf : s.faults.link_faults) {
+      XmlNode& n = f.add_child("link_fault");
+      n.add_child_text("host", std::to_string(lf.host));
+      n.add_child_text("down_s", secs(lf.down_at));
+      if (lf.up_at < SimTime::infinity()) {
+        n.add_child_text("up_s", secs(lf.up_at));
+      }
+    }
+    for (const auto& p : s.faults.partitions) {
+      XmlNode& n = f.add_child("partition");
+      std::vector<std::string> hosts;
+      hosts.reserve(p.hosts.size());
+      for (const int h : p.hosts) hosts.push_back(std::to_string(h));
+      n.add_child_text("hosts", common::join(hosts, ","));
+      n.add_child_text("at_s", secs(p.at));
+      if (p.heal_at < SimTime::infinity()) {
+        n.add_child_text("heal_s", secs(p.heal_at));
+      }
+    }
+    for (const auto& o : s.faults.server_outages) {
+      XmlNode& n = f.add_child("server_outage");
+      n.add_child_text("down_s", secs(o.down_at));
+      if (o.up_at < SimTime::infinity()) {
+        n.add_child_text("up_s", secs(o.up_at));
+      }
+    }
+    for (const auto& c : s.faults.crashes) {
+      XmlNode& n = f.add_child("crash");
+      n.add_child_text("host", std::to_string(c.host));
+      n.add_child_text("at_s", secs(c.at));
+      if (c.restart_at < SimTime::infinity()) {
+        n.add_child_text("restart_s", secs(c.restart_at));
+      }
+    }
+    if (s.faults.link_flap) {
+      XmlNode& n = f.add_child("link_flap");
+      n.add_child_text("mean_up_s", secs(s.faults.link_flap->mean_up));
+      n.add_child_text("mean_down_s", secs(s.faults.link_flap->mean_down));
+    }
+    if (s.faults.upload_corruption_rate > 0) {
+      f.add_child_text(
+          "upload_corruption_rate",
+          common::strprintf("%.6f", s.faults.upload_corruption_rate));
+    }
+    if (s.faults.rpc_loss_rate > 0) {
+      f.add_child_text("rpc_loss_rate",
+                       common::strprintf("%.6f", s.faults.rpc_loss_rate));
+    }
   }
   return root.to_string();
 }

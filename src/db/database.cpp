@@ -304,6 +304,7 @@ std::string Database::save() const {
     put_digest(n, "canonical_digest", w.canonical_digest);
     put_i64(n, "assimilate_state", static_cast<int>(w.assimilate_state));
     put_i64(n, "error_mass", w.error_mass ? 1 : 0);
+    put_i64(n, "audit", w.audit ? 1 : 0);
     n.add_child_text("flops_est", common::strprintf("%.17g", w.flops_est));
     put_i64(n, "mr_phase", static_cast<int>(w.mr_phase));
     put_i64(n, "mr_job", w.mr_job.value());
@@ -421,6 +422,7 @@ Database Database::load(const std::string& snapshot) {
       w.assimilate_state =
           static_cast<AssimilateState>(n.child_i64("assimilate_state"));
       w.error_mass = n.child_i64("error_mass") != 0;
+      w.audit = n.child_i64("audit", 0) != 0;
       w.flops_est = n.child_double("flops_est");
       w.mr_phase = static_cast<MrPhase>(n.child_i64("mr_phase"));
       w.mr_job = MrJobId{n.child_i64("mr_job")};

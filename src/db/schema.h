@@ -84,6 +84,9 @@ struct WorkUnitRecord {
   common::Digest128 canonical_digest;
   AssimilateState assimilate_state = AssimilateState::kInit;
   bool error_mass = false;  ///< too many errors; WU abandoned
+  /// Spot-check escalation (vcmr::rep): the feeder dispatches audit results
+  /// ahead of bulk work so trust verdicts don't queue behind the cache.
+  bool audit = false;
 
   /// Estimated work per result (BOINC's rsc_fpops_est); drives both the
   /// scheduler's fill-the-request-seconds matchmaking and client runtime.

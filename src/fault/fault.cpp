@@ -1,0 +1,180 @@
+#include "fault/fault.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace vcmr::fault {
+
+namespace {
+common::Logger log_("fault");
+}
+
+Injector::Injector(sim::Simulation& sim, FaultPlan plan, Hooks hooks,
+                   int n_hosts, sim::TraceRecorder* trace)
+    : sim_(sim),
+      plan_(std::move(plan)),
+      hooks_(std::move(hooks)),
+      n_hosts_(n_hosts),
+      trace_(trace),
+      corrupt_rng_(sim.rng_stream("fault.corrupt")),
+      drop_rng_(sim.rng_stream("fault.rpcloss")) {
+  const auto check_host = [this](int host, const char* what) {
+    if (host < 0 || host >= n_hosts_) {
+      throw Error(std::string("FaultPlan: ") + what +
+                  " host index out of range");
+    }
+  };
+  for (const auto& lf : plan_.link_faults) {
+    check_host(lf.host, "link_fault");
+    require(lf.up_at > lf.down_at, "FaultPlan: link_fault up_at <= down_at");
+  }
+  for (const auto& p : plan_.partitions) {
+    require(!p.hosts.empty(), "FaultPlan: partition with no hosts");
+    for (const int h : p.hosts) check_host(h, "partition");
+    require(p.heal_at > p.at, "FaultPlan: partition heal_at <= at");
+  }
+  for (const auto& o : plan_.server_outages) {
+    require(o.up_at > o.down_at, "FaultPlan: server_outage up_at <= down_at");
+  }
+  for (const auto& c : plan_.crashes) {
+    check_host(c.host, "crash");
+    require(c.restart_at > c.at, "FaultPlan: crash restart_at <= at");
+  }
+  require(plan_.upload_corruption_rate >= 0 &&
+              plan_.upload_corruption_rate <= 1,
+          "FaultPlan: upload_corruption_rate must be in [0,1]");
+  require(plan_.rpc_loss_rate >= 0 && plan_.rpc_loss_rate <= 1,
+          "FaultPlan: rpc_loss_rate must be in [0,1]");
+  if (plan_.link_flap) {
+    require(plan_.link_flap->mean_up > SimTime::zero() &&
+                plan_.link_flap->mean_down > SimTime::zero(),
+            "FaultPlan: link_flap means must be positive");
+    flap_rngs_.reserve(static_cast<std::size_t>(n_hosts_));
+    for (int i = 0; i < n_hosts_; ++i) {
+      flap_rngs_.push_back(sim.rng_stream(
+          "fault.linkflap", static_cast<std::uint64_t>(i)));
+    }
+  }
+}
+
+void Injector::record(const std::string& label, const std::string& detail) {
+  log_.debug(label, " ", detail, " at t=", sim_.now().str());
+  if (trace_) trace_->point(sim_.now(), "fault", label, detail);
+}
+
+void Injector::arm() {
+  require(!armed_, "Injector::arm called twice");
+  armed_ = true;
+
+  for (const auto& lf : plan_.link_faults) {
+    const int host = lf.host;
+    sim_.at(lf.down_at, [this, host] {
+      ++stats_.links_downed;
+      record("link_down", "host" + std::to_string(host + 1));
+      if (hooks_.set_link) hooks_.set_link(host, false);
+    });
+    if (lf.up_at < SimTime::infinity()) {
+      sim_.at(lf.up_at, [this, host] {
+        ++stats_.links_restored;
+        record("link_up", "host" + std::to_string(host + 1));
+        if (hooks_.set_link) hooks_.set_link(host, true);
+      });
+    }
+  }
+
+  // Each partition spec gets its own class id; concurrent partitions of
+  // overlapping host sets compose last-write-wins.
+  int cls = 0;
+  for (const auto& p : plan_.partitions) {
+    ++cls;
+    const std::vector<int> hosts = p.hosts;
+    const int this_cls = cls;
+    sim_.at(p.at, [this, hosts, this_cls] {
+      ++stats_.partitions_started;
+      record("partition",
+             common::strprintf("class%d (%zu hosts)", this_cls, hosts.size()));
+      if (hooks_.set_partition) hooks_.set_partition(hosts, this_cls);
+    });
+    if (p.heal_at < SimTime::infinity()) {
+      sim_.at(p.heal_at, [this, hosts, this_cls] {
+        ++stats_.partitions_healed;
+        record("partition_heal", common::strprintf("class%d", this_cls));
+        if (hooks_.set_partition) hooks_.set_partition(hosts, 0);
+      });
+    }
+  }
+
+  for (const auto& o : plan_.server_outages) {
+    sim_.at(o.down_at, [this] {
+      ++stats_.server_outages;
+      record("server_down", "data server");
+      if (hooks_.set_data_server) hooks_.set_data_server(false);
+    });
+    if (o.up_at < SimTime::infinity()) {
+      sim_.at(o.up_at, [this] {
+        ++stats_.server_restarts;
+        record("server_up", "data server");
+        if (hooks_.set_data_server) hooks_.set_data_server(true);
+      });
+    }
+  }
+
+  for (const auto& c : plan_.crashes) {
+    const int host = c.host;
+    sim_.at(c.at, [this, host] {
+      ++stats_.client_crashes;
+      record("crash", "host" + std::to_string(host + 1));
+      if (hooks_.crash_client) hooks_.crash_client(host);
+    });
+    if (c.restart_at < SimTime::infinity()) {
+      sim_.at(c.restart_at, [this, host] {
+        ++stats_.client_restarts;
+        record("restart", "host" + std::to_string(host + 1));
+        if (hooks_.restart_client) hooks_.restart_client(host);
+      });
+    }
+  }
+
+  if (plan_.link_flap) {
+    for (int i = 0; i < n_hosts_; ++i) schedule_flap_down(i);
+  }
+}
+
+void Injector::schedule_flap_down(int host) {
+  const double up_s = flap_rngs_[static_cast<std::size_t>(host)].exponential(
+      plan_.link_flap->mean_up.as_seconds());
+  sim_.after(SimTime::seconds(up_s), [this, host] {
+    ++stats_.links_downed;
+    record("link_down", "host" + std::to_string(host + 1) + " (flap)");
+    if (hooks_.set_link) hooks_.set_link(host, false);
+    schedule_flap_up(host);
+  });
+}
+
+void Injector::schedule_flap_up(int host) {
+  const double down_s = flap_rngs_[static_cast<std::size_t>(host)].exponential(
+      plan_.link_flap->mean_down.as_seconds());
+  sim_.after(SimTime::seconds(down_s), [this, host] {
+    ++stats_.links_restored;
+    record("link_up", "host" + std::to_string(host + 1) + " (flap)");
+    if (hooks_.set_link) hooks_.set_link(host, true);
+    schedule_flap_down(host);
+  });
+}
+
+bool Injector::corrupt_upload_draw() {
+  if (!corrupt_rng_.chance(plan_.upload_corruption_rate)) return false;
+  ++stats_.uploads_corrupted;
+  record("corrupt_upload", "");
+  return true;
+}
+
+bool Injector::drop_message_draw() {
+  if (!drop_rng_.chance(plan_.rpc_loss_rate)) return false;
+  ++stats_.messages_dropped;
+  record("rpc_drop", "");
+  return true;
+}
+
+}  // namespace vcmr::fault

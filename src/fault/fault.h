@@ -1,0 +1,175 @@
+#pragma once
+// Deterministic fault injection (vcmr::fault).
+//
+// The BOINC machinery this repo reproduces — exponential backoff, report
+// deadlines, the transitioner's re-issue path, quorum validation — exists
+// because volunteer clouds treat churn, broken links, and bad uploads as
+// the normal case. This engine exercises exactly those paths: a FaultPlan
+// (parsed from the scenario's <faults> block or built programmatically)
+// describes timed and probabilistic faults, and the Injector schedules them
+// on the discrete-event clock through a Hooks table the Cluster wires to
+// the network, data server, and clients.
+//
+// Determinism: every probabilistic fault draws from its own dedicated RNG
+// stream ("fault.corrupt", "fault.rpcloss", "fault.linkflap"/host), so an
+// empty plan makes zero draws and a no-faults scenario is bit-identical to
+// a build without the engine; the same seed always yields the same fault
+// schedule and the same recovery trace.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+
+namespace vcmr::fault {
+
+/// A volunteer host's access link goes down (transfers and RPCs touching it
+/// fail; the client itself keeps computing) and optionally comes back.
+struct LinkFault {
+  int host = -1;  ///< volunteer index in [0, n_hosts)
+  SimTime down_at;
+  SimTime up_at = SimTime::infinity();  ///< infinity = never restored
+};
+
+/// The listed hosts are split from everyone else (server included): flows
+/// and messages crossing the cut fail until the partition heals.
+struct Partition {
+  std::vector<int> hosts;
+  SimTime at;
+  SimTime heal_at = SimTime::infinity();
+};
+
+/// The project data server rejects downloads/uploads with 503 while down;
+/// scheduler RPCs are unaffected (the daemons run on, as when a BOINC
+/// project's file server dies but its CGIs stay up).
+struct ServerOutage {
+  SimTime down_at;
+  SimTime up_at = SimTime::infinity();
+};
+
+/// The client process dies: in-flight task state, downloaded inputs, and
+/// served map outputs are all lost (no checkpoint survives, unlike churn's
+/// suspend/resume). On restart it re-contacts the scheduler from scratch;
+/// its lost results recover via the transitioner's deadline re-issue, and
+/// reducers that depended on its map outputs re-fetch or fall back.
+struct ClientCrash {
+  int host = -1;
+  SimTime at;
+  SimTime restart_at = SimTime::infinity();
+};
+
+/// Probabilistic link flapping: every host's access link alternates
+/// exponentially distributed up/down periods (stream "fault.linkflap"/host).
+struct LinkFlap {
+  SimTime mean_up = SimTime::minutes(30);
+  SimTime mean_down = SimTime::minutes(1);
+};
+
+struct FaultPlan {
+  std::vector<LinkFault> link_faults;
+  std::vector<Partition> partitions;
+  std::vector<ServerOutage> server_outages;
+  std::vector<ClientCrash> crashes;
+  std::optional<LinkFlap> link_flap;
+  /// Probability that a finished task's upload/report is corrupted (digest
+  /// flipped; the quorum validator is what must catch it).
+  double upload_corruption_rate = 0.0;
+  /// Probability that a control message (scheduler RPC, HTTP header
+  /// exchange) is lost in transit; the sender sees a failure and retries
+  /// under its usual backoff.
+  double rpc_loss_rate = 0.0;
+
+  bool empty() const {
+    return link_faults.empty() && partitions.empty() &&
+           server_outages.empty() && crashes.empty() && !link_flap &&
+           upload_corruption_rate <= 0.0 && rpc_loss_rate <= 0.0;
+  }
+};
+
+/// Injection/recovery counters, surfaced in core::RunOutcome.
+struct FaultStats {
+  std::int64_t links_downed = 0;
+  std::int64_t links_restored = 0;
+  std::int64_t partitions_started = 0;
+  std::int64_t partitions_healed = 0;
+  std::int64_t server_outages = 0;
+  std::int64_t server_restarts = 0;
+  std::int64_t client_crashes = 0;
+  std::int64_t client_restarts = 0;
+  std::int64_t uploads_corrupted = 0;
+  std::int64_t messages_dropped = 0;
+
+  std::int64_t injected() const {
+    return links_downed + partitions_started + server_outages +
+           client_crashes + uploads_corrupted + messages_dropped;
+  }
+  std::int64_t recovered() const {
+    return links_restored + partitions_healed + server_restarts +
+           client_restarts;
+  }
+};
+
+/// How the Injector acts on the deployment. The engine deliberately knows
+/// nothing about vcmr::net/server/client types — the Cluster supplies
+/// closures, which keeps the dependency graph acyclic and lets tests inject
+/// into bare mocks.
+struct Hooks {
+  /// Take host `i`'s access link down / bring it back.
+  std::function<void(int host, bool up)> set_link;
+  /// Place the hosts into partition class `cls` (0 = rejoin the main net).
+  std::function<void(const std::vector<int>& hosts, int cls)> set_partition;
+  /// Data-server availability.
+  std::function<void(bool up)> set_data_server;
+  std::function<void(int host)> crash_client;
+  std::function<void(int host)> restart_client;
+};
+
+class Injector {
+ public:
+  /// Validates the plan against `n_hosts` (throws vcmr::Error on bad host
+  /// indices or non-monotonic times). `trace` may be null.
+  Injector(sim::Simulation& sim, FaultPlan plan, Hooks hooks, int n_hosts,
+           sim::TraceRecorder* trace = nullptr);
+
+  /// Schedules every timed fault and starts link flapping. Call once.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  bool wants_upload_corruption() const {
+    return plan_.upload_corruption_rate > 0.0;
+  }
+  bool wants_message_loss() const { return plan_.rpc_loss_rate > 0.0; }
+
+  /// Per-finished-task draw (wired into each client when the rate is > 0);
+  /// true = corrupt this task's outputs. Draws from "fault.corrupt" only —
+  /// never from streams existing components own.
+  bool corrupt_upload_draw();
+  /// Per-control-message draw (wired into the network when the rate is
+  /// > 0); true = drop the message. Draws from "fault.rpcloss".
+  bool drop_message_draw();
+
+ private:
+  void record(const std::string& label, const std::string& detail);
+  void schedule_flap_down(int host);
+  void schedule_flap_up(int host);
+
+  sim::Simulation& sim_;
+  FaultPlan plan_;
+  Hooks hooks_;
+  int n_hosts_;
+  sim::TraceRecorder* trace_;
+  FaultStats stats_;
+  common::Rng corrupt_rng_;
+  common::Rng drop_rng_;
+  std::vector<common::Rng> flap_rngs_;
+  bool armed_ = false;
+};
+
+}  // namespace vcmr::fault

@@ -32,6 +32,10 @@ void HttpService::request(NodeId client, Endpoint server, HttpRequest req,
     fail(NetError::kNodeOffline);
     return;
   }
+  if (!net_.reachable(client, server.node)) {
+    fail(NetError::kPartitioned);
+    return;
+  }
 
   // Stage 1: connection + request headers (latency-bound).
   net_.send_message(

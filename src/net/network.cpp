@@ -12,6 +12,7 @@ const char* to_string(NetError e) {
     case NetError::kNodeOffline: return "node offline";
     case NetError::kInjectedFailure: return "injected failure";
     case NetError::kCancelled: return "cancelled";
+    case NetError::kPartitioned: return "partitioned";
   }
   return "?";
 }
@@ -55,6 +56,21 @@ void Network::set_online(NodeId id, bool online) {
 
 bool Network::online(NodeId id) const { return node(id).online; }
 
+void Network::set_partition_class(NodeId id, int cls) {
+  Node& n = node(id);
+  if (n.partition == cls) return;
+  n.partition = cls;
+  fail_partitioned_flows();
+}
+
+int Network::partition_class(NodeId id) const { return node(id).partition; }
+
+bool Network::reachable(NodeId a, NodeId b) const {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  return na.online && nb.online && na.partition == nb.partition;
+}
+
 SimTime Network::latency(NodeId id) const { return node(id).cfg.latency; }
 
 double Network::up_bps(NodeId id) const { return node(id).cfg.up_bps; }
@@ -87,13 +103,22 @@ FlowId Network::start_flow(FlowSpec spec) {
   require(spec.bytes >= 0, "start_flow: negative size");
   const FlowId id{next_flow_id_++};
 
-  if (!online(spec.src) || !online(spec.dst) ||
-      (spec.relay && !online(*spec.relay))) {
+  const auto refuse = [this, &spec](NetError err) {
     // Report asynchronously so callers never re-enter themselves.
     auto on_fail = spec.on_fail;
-    sim_.after(SimTime::zero(), [on_fail] {
-      if (on_fail) on_fail(NetError::kNodeOffline);
+    sim_.after(SimTime::zero(), [on_fail, err] {
+      if (on_fail) on_fail(err);
     });
+  };
+  if (!online(spec.src) || !online(spec.dst) ||
+      (spec.relay && !online(*spec.relay))) {
+    refuse(NetError::kNodeOffline);
+    return id;
+  }
+  if (!reachable(spec.src, spec.dst) ||
+      (spec.relay && (!reachable(spec.src, *spec.relay) ||
+                      !reachable(*spec.relay, spec.dst)))) {
+    refuse(NetError::kPartitioned);
     return id;
   }
 
@@ -300,13 +325,36 @@ void Network::fail_flows_touching(NodeId id) {
   for (const FlowId fid : doomed) fail_flow(fid, NetError::kNodeOffline);
 }
 
+void Network::fail_partitioned_flows() {
+  std::vector<FlowId> doomed;
+  for (const auto& [fid, f] : flows_) {
+    const bool cut =
+        !reachable(f.spec.src, f.spec.dst) ||
+        (f.spec.relay && (!reachable(f.spec.src, *f.spec.relay) ||
+                          !reachable(*f.spec.relay, f.spec.dst)));
+    if (cut) doomed.push_back(fid);
+  }
+  for (const FlowId fid : doomed) fail_flow(fid, NetError::kPartitioned);
+}
+
 void Network::send_message(NodeId from, NodeId to, Bytes size,
                            std::function<void()> on_delivered,
                            std::function<void(NetError)> on_fail) {
-  if (!online(from) || !online(to)) {
-    sim_.after(SimTime::zero(), [on_fail] {
-      if (on_fail) on_fail(NetError::kNodeOffline);
+  const auto refuse = [this, &on_fail](NetError err) {
+    sim_.after(SimTime::zero(), [on_fail, err] {
+      if (on_fail) on_fail(err);
     });
+  };
+  if (!online(from) || !online(to)) {
+    refuse(NetError::kNodeOffline);
+    return;
+  }
+  if (!reachable(from, to)) {
+    refuse(NetError::kPartitioned);
+    return;
+  }
+  if (message_drop_ && message_drop_()) {
+    refuse(NetError::kInjectedFailure);
     return;
   }
   // Control messages are latency-bound: propagation plus serialisation at
@@ -315,10 +363,16 @@ void Network::send_message(NodeId from, NodeId to, Bytes size,
       std::min(node(from).cfg.up_bps, node(to).cfg.down_bps);
   const SimTime delay = latency(from) + latency(to) +
                         SimTime::seconds(static_cast<double>(size) / ser_rate);
-  sim_.after(delay, [this, to, on_delivered = std::move(on_delivered),
+  sim_.after(delay, [this, from, to, on_delivered = std::move(on_delivered),
                      on_fail = std::move(on_fail)] {
     if (!online(to)) {
       if (on_fail) on_fail(NetError::kNodeOffline);
+      return;
+    }
+    // In-flight messages still land if the sender dropped off, but not
+    // across a partition that formed while they were in the air.
+    if (node(from).partition != node(to).partition) {
+      if (on_fail) on_fail(NetError::kPartitioned);
       return;
     }
     if (on_delivered) on_delivered();

@@ -40,6 +40,7 @@ enum class NetError {
   kNodeOffline,       ///< an endpoint (or relay) went offline mid-transfer
   kInjectedFailure,   ///< failure injection (models resets, broken paths)
   kCancelled,         ///< caller cancelled
+  kPartitioned,       ///< endpoints are in different partition classes
 };
 const char* to_string(NetError e);
 
@@ -71,6 +72,14 @@ class Network {
 
   void set_online(NodeId id, bool online);
   bool online(NodeId id) const;
+
+  /// Network partitions (fault injection): nodes in different classes
+  /// cannot exchange flows or messages. All nodes start in class 0;
+  /// changing a node's class fails its flows that now cross the cut.
+  void set_partition_class(NodeId id, int cls);
+  int partition_class(NodeId id) const;
+  /// Both endpoints online and in the same partition class.
+  bool reachable(NodeId a, NodeId b) const;
 
   /// One-way latency of a node's access path.
   SimTime latency(NodeId id) const;
@@ -108,6 +117,12 @@ class Network {
   /// Restrict injected failures to flows where neither endpoint is `except`
   /// (lets tests break only inter-client paths while server paths stay up).
   void set_failure_exempt_node(NodeId id) { failure_exempt_ = id; }
+  /// Fault injection: consulted once per send_message when set; returning
+  /// true drops the message (the sender sees kInjectedFailure). Unset by
+  /// default so fault-free runs make no extra RNG draws.
+  void set_message_drop_hook(std::function<bool()> hook) {
+    message_drop_ = std::move(hook);
+  }
 
   // --- accounting -------------------------------------------------------
   const NodeTraffic& traffic(NodeId id) const;
@@ -120,6 +135,7 @@ class Network {
   struct Node {
     NodeConfig cfg;
     bool online = true;
+    int partition = 0;
     NodeTraffic traffic;
   };
 
@@ -144,6 +160,8 @@ class Network {
   void fail_flow(FlowId id, NetError err);
   /// Fails every flow that traverses `id` (endpoint or relay).
   void fail_flows_touching(NodeId id);
+  /// Fails every flow whose endpoints/relay now span partition classes.
+  void fail_partitioned_flows();
 
   /// Resource keys for the allocator: +id = uplink, -id-1 = downlink.
   static std::int64_t up_key(NodeId id) { return id.value(); }
@@ -157,6 +175,7 @@ class Network {
   std::int64_t next_flow_id_ = 1;
   double flow_failure_rate_ = 0.0;
   NodeId failure_exempt_ = NodeId::invalid();
+  std::function<bool()> message_drop_;
   common::Rng fail_rng_;
   Bytes total_bytes_ = 0;
 };

@@ -9,6 +9,11 @@ DataServer::DataServer(net::HttpService& http, NodeId node, int port)
     : http_(http), ep_{node, port} {
   http_.listen(ep_, [this](const net::HttpRequest& req,
                            net::HttpRespondFn respond) {
+    if (!available_) {
+      ++rejected_unavailable_;
+      respond(net::HttpResponse{503, 0, {}});
+      return;
+    }
     if (req.method == "GET" && common::starts_with(req.path, "/download/")) {
       const std::string name = req.path.substr(10);
       const auto it = store_.find(name);
@@ -87,15 +92,21 @@ void DataServer::upload(NodeId client, const std::string& name,
   req.body_size = payload.size;
   http_.request(
       client, ep_, std::move(req),
-      [this, name, payload = std::move(payload),
-       on_done = std::move(on_done)](const net::HttpResponse& resp) mutable {
-        if (resp.ok()) {
-          bytes_ingested_ += payload.size;
-          ++uploads_;
-          store_[name] = std::move(payload);
-          if (upload_listener_) upload_listener_(name);
-          if (on_done) on_done();
+      [this, name, payload = std::move(payload), on_done = std::move(on_done),
+       on_fail](const net::HttpResponse& resp) mutable {
+        if (!resp.ok()) {
+          // A refused upload (e.g. 503 during an outage) must surface as a
+          // failure, or the client's transfer would hang forever.
+          if (on_fail) {
+            on_fail("HTTP " + std::to_string(resp.status) + " for " + name);
+          }
+          return;
         }
+        bytes_ingested_ += payload.size;
+        ++uploads_;
+        store_[name] = std::move(payload);
+        if (upload_listener_) upload_listener_(name);
+        if (on_done) on_done();
       },
       [name, on_fail](net::NetError err) {
         if (on_fail) on_fail(std::string(net::to_string(err)) + " for " + name);

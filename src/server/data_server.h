@@ -53,6 +53,15 @@ class DataServer {
     upload_listener_ = std::move(listener);
   }
 
+  /// Fault injection: while unavailable the server answers every download
+  /// and upload with 503 (clients retry under their transfer policies); the
+  /// staged files survive the outage, as a restarted file server's disk
+  /// would.
+  void set_available(bool up) { available_ = up; }
+  bool available() const { return available_; }
+  /// Requests refused while unavailable.
+  std::int64_t rejected_unavailable() const { return rejected_unavailable_; }
+
   Bytes bytes_served() const { return bytes_served_; }
   Bytes bytes_ingested() const { return bytes_ingested_; }
   std::int64_t downloads() const { return downloads_; }
@@ -63,10 +72,12 @@ class DataServer {
   net::Endpoint ep_;
   std::map<std::string, mr::FilePayload> store_;
   std::function<void(const std::string&)> upload_listener_;
+  bool available_ = true;
   Bytes bytes_served_ = 0;
   Bytes bytes_ingested_ = 0;
   std::int64_t downloads_ = 0;
   std::int64_t uploads_ = 0;
+  std::int64_t rejected_unavailable_ = 0;
 };
 
 }  // namespace vcmr::server

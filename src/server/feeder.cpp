@@ -9,13 +9,25 @@ void Feeder::refill() {
   std::erase_if(cache_, [this](ResultId id) {
     return db_.result(id).server_state != db::ServerState::kUnsent;
   });
-  if (cache_.size() >= capacity()) return;
-  for (const ResultId id : db_.unsent_results()) {
-    if (cache_.size() >= capacity()) break;
-    if (std::find(cache_.begin(), cache_.end(), id) == cache_.end()) {
-      cache_.push_back(id);
+  const auto audit = [this](ResultId id) {
+    return db_.workunit(db_.result(id).wu).audit;
+  };
+  if (cache_.size() < capacity()) {
+    // Top up audit-first: spot-check replicas must not queue behind bulk
+    // work, or a trust verdict waits a whole cache drain.
+    std::vector<ResultId> unsent = db_.unsent_results();
+    std::stable_partition(unsent.begin(), unsent.end(), audit);
+    for (const ResultId id : unsent) {
+      if (cache_.size() >= capacity()) break;
+      if (std::find(cache_.begin(), cache_.end(), id) == cache_.end()) {
+        cache_.push_back(id);
+      }
     }
   }
+  // The scheduler scans the cache in order, so audits also jump the line
+  // within it. A stable pass keeps id order otherwise — with no audit work
+  // this is a no-op and dispatch order is unchanged.
+  std::stable_partition(cache_.begin(), cache_.end(), audit);
 }
 
 void Feeder::remove(ResultId id) {

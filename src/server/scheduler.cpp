@@ -294,6 +294,7 @@ bool Scheduler::apply_trust_policy(const db::ResultRecord& r,
   switch (policy_->decide_assignment(host)) {
     case rep::AssignmentDecision::kSpotCheck:
       escalate();
+      wu.audit = true;  // feeder fast-tracks the check replicas
       ++stats_.spot_checks;
       if (trace_) trace_->point(sim_.now(), "scheduler", "spot_check", r.name);
       break;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "core/cluster.h"
 #include "db/database.h"
 
 namespace vcmr::db {
@@ -224,6 +225,69 @@ TEST(Database, SnapshotPreservesIdAllocation) {
 TEST(Database, LoadRejectsGarbage) {
   EXPECT_THROW(Database::load("<not_a_db/>"), Error);
   EXPECT_THROW(Database::load("garbage"), Error);
+}
+
+TEST(Database, MidJobSnapshotRoundTripsInFlightState) {
+  // Freeze a live cluster mid-job (time limit inside the map phase) and
+  // snapshot the database while results are still in progress: the
+  // round-trip must be idempotent byte-for-byte, so escalation and
+  // replication state of unfinished work — server_state, deadlines, audit
+  // flags, adjusted target_nresults — survives a save/load/save cycle.
+  core::Scenario s;
+  s.seed = 13;
+  s.n_nodes = 6;
+  s.n_maps = 8;
+  s.n_reducers = 2;
+  s.input_size = 100'000'000;
+  s.boinc_mr = true;
+  // Adaptive replication with instant trust and certain spot-checks, so
+  // audit escalations exist in flight when the clock stops.
+  s.project.reputation.mode = rep::PolicyMode::kAdaptive;
+  s.project.reputation.min_consecutive_valid = 1;
+  s.project.reputation.max_error_rate = 0.2;
+  s.project.reputation.spot_check_probability = 1.0;
+  s.time_limit = SimTime::seconds(210);  // mid-reduce: audits + work in flight
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_FALSE(out.metrics.completed);
+  ASSERT_TRUE(out.hit_time_limit);
+
+  const Database& db = cluster.project().database();
+  int in_progress = 0;
+  db.for_each_result([&](const ResultRecord& r) {
+    if (r.server_state == ServerState::kInProgress) ++in_progress;
+  });
+  ASSERT_GT(in_progress, 0);  // genuinely mid-job
+  int audits = 0;
+  db.for_each_workunit([&](const WorkUnitRecord& w) {
+    if (w.audit) ++audits;
+  });
+  ASSERT_GT(audits, 0);  // spot-check escalations in flight
+
+  const std::string snap = db.save();
+  const Database loaded = Database::load(snap);
+  EXPECT_EQ(loaded.save(), snap);  // idempotent: every field round-trips
+
+  EXPECT_EQ(loaded.workunit_count(), db.workunit_count());
+  EXPECT_EQ(loaded.result_count(), db.result_count());
+  int loaded_in_progress = 0;
+  loaded.for_each_result([&](const ResultRecord& r) {
+    if (r.server_state == ServerState::kInProgress) ++loaded_in_progress;
+  });
+  EXPECT_EQ(loaded_in_progress, in_progress);
+  db.for_each_workunit([&](const WorkUnitRecord& w) {
+    const WorkUnitRecord& l = loaded.workunit(w.id);
+    EXPECT_EQ(l.audit, w.audit) << w.name;
+    EXPECT_EQ(l.target_nresults, w.target_nresults) << w.name;
+    EXPECT_EQ(l.min_quorum, w.min_quorum) << w.name;
+    EXPECT_EQ(l.delay_bound, w.delay_bound) << w.name;
+  });
+  db.for_each_result([&](const ResultRecord& r) {
+    const ResultRecord& l = loaded.result(r.id);
+    EXPECT_EQ(l.server_state, r.server_state) << r.name;
+    EXPECT_EQ(l.report_deadline, r.report_deadline) << r.name;
+    EXPECT_EQ(l.sent_time, r.sent_time) << r.name;
+  });
 }
 
 }  // namespace

@@ -1,0 +1,390 @@
+// vcmr::fault — deterministic fault injection.
+//
+// Three families of checks:
+//  1. No-faults regression: an empty FaultPlan wires nothing, draws nothing,
+//     and leaves the seed scenarios bit-identical (golden numbers captured
+//     before the engine existed, full %.17g precision + event counts).
+//  2. Recovery correctness: under every fault type the word-count job still
+//     completes with byte-identical output against the local-runtime oracle.
+//  3. Determinism: the same fault schedule twice yields identical metrics,
+//     fault counters, and trace streams.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/cluster.h"
+#include "core/scenario_io.h"
+#include "fault/fault.h"
+#include "mr/apps.h"
+#include "mr/dataset.h"
+#include "mr/local_runtime.h"
+
+namespace vcmr {
+namespace {
+
+std::string corpus(Bytes size, std::uint64_t seed, std::int64_t vocab = 500) {
+  common::RngStreamFactory f(seed);
+  common::Rng rng = f.stream("corpus");
+  mr::ZipfOptions zo;
+  zo.vocabulary = vocab;
+  return mr::ZipfCorpus(zo).generate(size, rng);
+}
+
+std::vector<mr::KeyValue> oracle(const std::string& text, int maps, int reds) {
+  mr::register_builtin_apps();
+  const mr::MapReduceApp* app = mr::AppRegistry::instance().find("word_count");
+  mr::LocalJobOptions opts;
+  opts.n_maps = maps;
+  opts.n_reducers = reds;
+  return mr::run_local(*app, text, opts).output;
+}
+
+// Materialised word-count on 6 hosts; without faults it finishes at
+// t ~ 110 s (maps 0-50 s, reduce 72-110 s), so fault windows below are
+// placed inside that span. Deadline shortened so the transitioner re-issues
+// lost work within the run instead of after the default 4 h bound.
+core::Scenario recovery_scenario(const std::string& text) {
+  core::Scenario s;
+  s.seed = 17;
+  s.n_nodes = 6;
+  s.n_maps = 4;
+  s.n_reducers = 2;
+  s.input_text = text;
+  s.boinc_mr = true;
+  s.project.delay_bound = SimTime::minutes(3);
+  s.time_limit = SimTime::hours(12);
+  return s;
+}
+
+// --- 1. no-faults bit-identity ---------------------------------------------
+
+// Golden numbers captured on the commit *before* vcmr::fault existed
+// (seed 11, 8 emulab nodes, 6 maps, 2 reducers, 60 MB synthetic input).
+// Doubles are exact: SimTime is integer microseconds, so these values are
+// reproducible to the last bit, and events_executed pins the whole event
+// stream, not just the summary statistics.
+core::Scenario golden_scenario(bool mr) {
+  core::Scenario s;
+  s.seed = 11;
+  s.n_nodes = 8;
+  s.n_maps = 6;
+  s.n_reducers = 2;
+  s.input_size = 60LL * 1000 * 1000;
+  s.boinc_mr = mr;
+  return s;
+}
+
+TEST(FaultRegression, NoFaultsBitIdenticalBoincMr) {
+  core::Cluster cluster(golden_scenario(/*mr=*/true));
+  EXPECT_EQ(cluster.injector(), nullptr);  // empty plan: engine not wired
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(out.metrics.total_seconds, 205.092772);
+  EXPECT_EQ(out.metrics.map.avg_task_seconds, 51.086786833333321);
+  EXPECT_EQ(out.metrics.reduce.avg_task_seconds, 29.64548400000001);
+  EXPECT_EQ(out.metrics.map_to_reduce_gap_seconds, 82.168866999999992);
+  EXPECT_EQ(out.server_bytes_sent, 120025909);
+  EXPECT_EQ(out.server_bytes_received, 140783545);
+  EXPECT_EQ(out.interclient_bytes, 138000000);
+  EXPECT_EQ(out.scheduler_rpcs, 34);
+  EXPECT_EQ(out.backoffs, 26);
+  EXPECT_EQ(cluster.simulation().events_executed(), 455);
+  EXPECT_EQ(out.faults.injected(), 0);
+}
+
+TEST(FaultRegression, NoFaultsBitIdenticalPlain) {
+  core::Cluster cluster(golden_scenario(/*mr=*/false));
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(out.metrics.total_seconds, 205.09481);
+  EXPECT_EQ(out.metrics.map.avg_task_seconds, 51.086786833333321);
+  EXPECT_EQ(out.metrics.reduce.avg_task_seconds, 41.256161500000012);
+  EXPECT_EQ(out.metrics.map_to_reduce_gap_seconds, 82.168866999999992);
+  EXPECT_EQ(out.server_bytes_sent, 258025909);
+  EXPECT_EQ(out.server_bytes_received, 140783578);
+  EXPECT_EQ(out.interclient_bytes, 0);
+  EXPECT_EQ(out.scheduler_rpcs, 34);
+  EXPECT_EQ(out.backoffs, 26);
+  EXPECT_EQ(cluster.simulation().events_executed(), 451);
+}
+
+// --- 2. recovery correctness ------------------------------------------------
+
+TEST(FaultRecovery, LinkFaultHeals) {
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::LinkFault lf;
+  lf.host = 2;
+  lf.down_at = SimTime::seconds(10);
+  lf.up_at = SimTime::seconds(45);
+  s.faults.link_faults.push_back(lf);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.faults.links_downed, 1);
+  EXPECT_EQ(out.faults.links_restored, 1);
+}
+
+TEST(FaultRecovery, PartitionHeals) {
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::Partition p;
+  p.hosts = {0, 1};
+  p.at = SimTime::seconds(15);
+  p.heal_at = SimTime::seconds(55);
+  s.faults.partitions.push_back(p);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.faults.partitions_started, 1);
+  EXPECT_EQ(out.faults.partitions_healed, 1);
+}
+
+TEST(FaultRecovery, DataServerOutage) {
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::ServerOutage o;
+  o.down_at = SimTime::seconds(5);
+  o.up_at = SimTime::seconds(30);
+  s.faults.server_outages.push_back(o);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.faults.server_outages, 1);
+  EXPECT_EQ(out.faults.server_restarts, 1);
+  EXPECT_GT(cluster.project().data_server().rejected_unavailable(), 0);
+}
+
+TEST(FaultRecovery, ClientCrashAndRestart) {
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::ClientCrash c;
+  c.host = 1;
+  c.at = SimTime::seconds(20);
+  c.restart_at = SimTime::seconds(60);
+  s.faults.crashes.push_back(c);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.faults.client_crashes, 1);
+  EXPECT_EQ(out.faults.client_restarts, 1);
+}
+
+TEST(FaultRecovery, ClientCrashWithoutRestart) {
+  // The crashed host never comes back; its in-flight work must be re-issued
+  // to the survivors after the deadline passes.
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::ClientCrash c;
+  c.host = 3;
+  c.at = SimTime::seconds(25);
+  s.faults.crashes.push_back(c);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.faults.client_crashes, 1);
+  EXPECT_EQ(out.faults.client_restarts, 0);
+  EXPECT_TRUE(cluster.client(3).crashed());
+}
+
+TEST(FaultRecovery, UploadCorruptionCaughtByQuorum) {
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  s.faults.upload_corruption_rate = 0.3;
+  s.project.max_error_results = 10;
+  s.project.max_total_results = 20;
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_GT(out.faults.uploads_corrupted, 0);
+  // Corrupted digests never validate: the quorum threw every one away.
+  EXPECT_GT(cluster.project().validator_stats().results_invalid, 0);
+}
+
+TEST(FaultRecovery, RpcMessageLoss) {
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  s.faults.rpc_loss_rate = 0.25;
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_GT(out.faults.messages_dropped, 0);
+  EXPECT_GT(out.backoffs, 0);
+}
+
+TEST(FaultRecovery, LinkFlapStillCompletes) {
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::LinkFlap flap;
+  flap.mean_up = SimTime::seconds(60);
+  flap.mean_down = SimTime::seconds(5);
+  s.faults.link_flap = flap;
+  s.time_limit = SimTime::hours(24);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_GT(out.faults.links_downed, 0);
+}
+
+TEST(FaultRecovery, CombinedChaosSchedule) {
+  // Everything at once: a flapped link window, a partition, a server
+  // outage, a crash, corruption and RPC loss — output still byte-identical.
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::LinkFault lf;
+  lf.host = 4;
+  lf.down_at = SimTime::seconds(8);
+  lf.up_at = SimTime::seconds(35);
+  s.faults.link_faults.push_back(lf);
+  fault::Partition p;
+  p.hosts = {0, 5};
+  p.at = SimTime::seconds(40);
+  p.heal_at = SimTime::seconds(70);
+  s.faults.partitions.push_back(p);
+  fault::ServerOutage o;
+  o.down_at = SimTime::seconds(90);
+  o.up_at = SimTime::seconds(110);
+  s.faults.server_outages.push_back(o);
+  fault::ClientCrash c;
+  c.host = 2;
+  c.at = SimTime::seconds(30);
+  c.restart_at = SimTime::seconds(80);
+  s.faults.crashes.push_back(c);
+  s.faults.upload_corruption_rate = 0.15;
+  s.faults.rpc_loss_rate = 0.1;
+  s.project.max_error_results = 10;
+  s.project.max_total_results = 20;
+  s.time_limit = SimTime::hours(24);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_GE(out.faults.injected(), 4);
+  EXPECT_GE(out.faults.recovered(), 4);
+}
+
+// --- 3. determinism ---------------------------------------------------------
+
+TEST(FaultDeterminism, SameScheduleTwiceIsIdentical) {
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::ClientCrash c;
+  c.host = 1;
+  c.at = SimTime::seconds(20);
+  c.restart_at = SimTime::seconds(60);
+  s.faults.crashes.push_back(c);
+  s.faults.rpc_loss_rate = 0.2;
+  s.faults.upload_corruption_rate = 0.1;
+  s.project.max_error_results = 10;
+  s.project.max_total_results = 20;
+  s.record_trace = true;
+
+  auto run = [&](sim::TraceRecorder** trace_out, core::Cluster& cluster) {
+    *trace_out = &cluster.trace();
+    return cluster.run_job();
+  };
+  core::Cluster ca(s);
+  core::Cluster cb(s);
+  sim::TraceRecorder* ta = nullptr;
+  sim::TraceRecorder* tb = nullptr;
+  const core::RunOutcome a = run(&ta, ca);
+  const core::RunOutcome b = run(&tb, cb);
+  ASSERT_TRUE(a.metrics.completed);
+  EXPECT_EQ(a.metrics.total_seconds, b.metrics.total_seconds);
+  EXPECT_EQ(a.server_bytes_sent, b.server_bytes_sent);
+  EXPECT_EQ(a.scheduler_rpcs, b.scheduler_rpcs);
+  EXPECT_EQ(a.faults.messages_dropped, b.faults.messages_dropped);
+  EXPECT_EQ(a.faults.uploads_corrupted, b.faults.uploads_corrupted);
+  EXPECT_EQ(ca.simulation().events_executed(),
+            cb.simulation().events_executed());
+  // Whole trace streams match, including injected fault points.
+  ASSERT_EQ(ta->points().size(), tb->points().size());
+  for (std::size_t i = 0; i < ta->points().size(); ++i) {
+    EXPECT_EQ(ta->points()[i].at, tb->points()[i].at);
+    EXPECT_EQ(ta->points()[i].actor, tb->points()[i].actor);
+    EXPECT_EQ(ta->points()[i].label, tb->points()[i].label);
+  }
+  // Fault events made it into the trace under the "fault" actor.
+  EXPECT_FALSE(ta->points_for("fault").empty());
+}
+
+// --- plan validation and XML round-trip -------------------------------------
+
+TEST(FaultPlanValidation, RejectsBadSchedules) {
+  const std::string text = corpus(40 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  s.faults.link_faults.push_back(
+      {.host = 99, .down_at = SimTime::seconds(1)});
+  EXPECT_THROW(core::Cluster{s}, Error);
+
+  s.faults.link_faults.clear();
+  s.faults.crashes.push_back({.host = 0,
+                              .at = SimTime::seconds(10),
+                              .restart_at = SimTime::seconds(5)});
+  EXPECT_THROW(core::Cluster{s}, Error);
+
+  s.faults.crashes.clear();
+  s.faults.rpc_loss_rate = 1.5;
+  EXPECT_THROW(core::Cluster{s}, Error);
+}
+
+TEST(FaultPlanXml, RoundTripsThroughScenarioIo) {
+  core::Scenario s;
+  s.seed = 5;
+  s.n_nodes = 4;
+  fault::LinkFault lf;
+  lf.host = 1;
+  lf.down_at = SimTime::seconds(10);
+  lf.up_at = SimTime::seconds(20);
+  s.faults.link_faults.push_back(lf);
+  fault::Partition p;
+  p.hosts = {0, 2};
+  p.at = SimTime::seconds(30);
+  p.heal_at = SimTime::seconds(40);
+  s.faults.partitions.push_back(p);
+  fault::ServerOutage o;
+  o.down_at = SimTime::seconds(50);
+  s.faults.server_outages.push_back(o);
+  fault::ClientCrash c;
+  c.host = 3;
+  c.at = SimTime::seconds(60);
+  s.faults.crashes.push_back(c);
+  s.faults.link_flap = fault::LinkFlap{.mean_up = SimTime::minutes(10),
+                                       .mean_down = SimTime::seconds(30)};
+  s.faults.upload_corruption_rate = 0.25;
+  s.faults.rpc_loss_rate = 0.125;
+
+  const core::Scenario r = core::scenario_from_xml(core::scenario_to_xml(s));
+  ASSERT_EQ(r.faults.link_faults.size(), 1u);
+  EXPECT_EQ(r.faults.link_faults[0].host, 1);
+  EXPECT_EQ(r.faults.link_faults[0].down_at, SimTime::seconds(10));
+  EXPECT_EQ(r.faults.link_faults[0].up_at, SimTime::seconds(20));
+  ASSERT_EQ(r.faults.partitions.size(), 1u);
+  EXPECT_EQ(r.faults.partitions[0].hosts, (std::vector<int>{0, 2}));
+  EXPECT_EQ(r.faults.partitions[0].heal_at, SimTime::seconds(40));
+  ASSERT_EQ(r.faults.server_outages.size(), 1u);
+  EXPECT_EQ(r.faults.server_outages[0].down_at, SimTime::seconds(50));
+  EXPECT_EQ(r.faults.server_outages[0].up_at, SimTime::infinity());
+  ASSERT_EQ(r.faults.crashes.size(), 1u);
+  EXPECT_EQ(r.faults.crashes[0].restart_at, SimTime::infinity());
+  ASSERT_TRUE(r.faults.link_flap.has_value());
+  EXPECT_EQ(r.faults.link_flap->mean_up, SimTime::minutes(10));
+  EXPECT_EQ(r.faults.upload_corruption_rate, 0.25);
+  EXPECT_EQ(r.faults.rpc_loss_rate, 0.125);
+  EXPECT_FALSE(r.faults.empty());
+
+  // A scenario without faults serializes without a <faults> block at all.
+  core::Scenario plain;
+  EXPECT_EQ(core::scenario_to_xml(plain).find("<faults>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcmr

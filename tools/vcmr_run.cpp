@@ -72,6 +72,19 @@ void report(const vcmr::core::RunOutcome& out) {
                 static_cast<long long>(out.traversal.relayed),
                 static_cast<long long>(out.traversal.failed));
   }
+  if (out.faults.injected() > 0) {
+    std::printf("faults        : %lld injected, %lld recovered "
+                "(%lld link, %lld partition, %lld outage, %lld crash, "
+                "%lld corrupt, %lld rpc drops)\n",
+                static_cast<long long>(out.faults.injected()),
+                static_cast<long long>(out.faults.recovered()),
+                static_cast<long long>(out.faults.links_downed),
+                static_cast<long long>(out.faults.partitions_started),
+                static_cast<long long>(out.faults.server_outages),
+                static_cast<long long>(out.faults.client_crashes),
+                static_cast<long long>(out.faults.uploads_corrupted),
+                static_cast<long long>(out.faults.messages_dropped));
+  }
 }
 
 }  // namespace

@@ -17,12 +17,16 @@ class ExponentialBackoff {
                      double jitter = 0.3)
       : min_(min_delay), max_(max_delay), rng_(rng), jitter_(jitter) {}
 
-  /// Next delay; escalates the failure count.
+  /// Next delay; escalates the failure count until the cap is reached.
   SimTime next() {
     double d = min_.as_seconds();
     for (int i = 0; i < failures_ && d < max_.as_seconds(); ++i) d *= 2.0;
+    const bool capped = d >= max_.as_seconds();
     d = std::min(d, max_.as_seconds());
-    ++failures_;
+    // Once the doubled delay hits the cap, further failures cannot raise
+    // it, so stop escalating: the counter stays bounded on multi-day runs
+    // instead of growing (and eventually overflowing) once per backoff.
+    if (!capped) ++failures_;
     const double jittered = d * rng_.uniform(1.0 - jitter_, 1.0);
     return SimTime::seconds(std::max(jittered, min_.as_seconds() * (1.0 - jitter_)));
   }

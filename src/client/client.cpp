@@ -175,6 +175,20 @@ void Client::do_rpc() {
     trace_point("report", t.assign.result_name);
   }
 
+  if (cfg_.report_known_results) {
+    // Fast lost-work recovery: tell the scheduler every result this client
+    // still holds (any state). After a crash the list is empty, so the
+    // scheduler can re-issue the wiped work at this very RPC.
+    req.knows_results = true;
+    for (const auto& [id, t] : tasks_) req.known_results.push_back(id);
+  }
+  std::vector<proto::FetchFailureReport> sent_fetch_failures;
+  if (cfg_.report_fetch_failures && !pending_fetch_failures_.empty()) {
+    sent_fetch_failures = std::move(pending_fetch_failures_);
+    pending_fetch_failures_.clear();
+    req.failed_fetches = sent_fetch_failures;
+  }
+
   rpc_in_flight_ = true;
   ++stats_.rpcs;
 
@@ -186,27 +200,37 @@ void Client::do_rpc() {
   const std::int64_t epoch = rpc_epoch_;
   http_.request(
       node_, scheduler_ep_, std::move(hreq),
-      [this, requesting, reported_ids, epoch](const net::HttpResponse& resp) {
+      [this, requesting, reported_ids, sent_fetch_failures,
+       epoch](const net::HttpResponse& resp) {
         if (epoch != rpc_epoch_) return;  // reply from before a crash
         if (!resp.ok()) {
-          on_rpc_fail(reported_ids);
+          on_rpc_fail(reported_ids, sent_fetch_failures);
           return;
         }
         on_reply(proto::reply_from_xml(resp.body), requesting, reported_ids);
       },
-      [this, reported_ids, epoch](net::NetError) {
+      [this, reported_ids, sent_fetch_failures, epoch](net::NetError) {
         if (epoch != rpc_epoch_) return;
-        on_rpc_fail(reported_ids);
+        on_rpc_fail(reported_ids, sent_fetch_failures);
       });
 }
 
-void Client::on_rpc_fail(std::vector<std::int64_t> reported_ids) {
+void Client::on_rpc_fail(
+    std::vector<std::int64_t> reported_ids,
+    std::vector<proto::FetchFailureReport> sent_fetch_failures) {
   rpc_in_flight_ = false;
   ++stats_.rpc_failures;
   // Reports were not delivered; queue them again.
   for (const std::int64_t id : reported_ids) {
     if (Task* t = find_task(id)) {
       if (t->state == TaskState::kReporting) t->state = TaskState::kReadyToReport;
+    }
+  }
+  for (const auto& ff : sent_fetch_failures) {
+    if (std::find(pending_fetch_failures_.begin(),
+                  pending_fetch_failures_.end(),
+                  ff) == pending_fetch_failures_.end()) {
+      pending_fetch_failures_.push_back(ff);
     }
   }
   backoff_until_ = sim_.now() + backoff_.next();
@@ -433,6 +457,30 @@ void Client::input_failed(std::int64_t result_id, const std::string& name,
   it->active = false;
 
   if (was_peer) {
+    if (cfg_.report_fetch_failures && !it->spec.peers.empty() &&
+        t->assign.phase == proto::TaskPhase::kReduce) {
+      // The holder is unreachable after all retries: queue a report so the
+      // jobtracker can invalidate its locations and re-run the map early.
+      // Every other still-missing input registered to the same holder is
+      // doomed to the same fate, so report them all in one batch instead
+      // of discovering them serially, one failed reduce attempt each.
+      const std::int64_t holder = it->spec.peers.front().holder_host;
+      for (const TaskInput& in : t->inputs) {
+        if (in.have || in.spec.peers.empty()) continue;
+        const proto::PeerLocation& loc = in.spec.peers.front();
+        if (loc.holder_host != holder) continue;
+        proto::FetchFailureReport ff;
+        ff.job_id = t->assign.job_id;
+        ff.map_index = loc.map_index;
+        ff.holder_host = loc.holder_host;
+        if (std::find(pending_fetch_failures_.begin(),
+                      pending_fetch_failures_.end(),
+                      ff) == pending_fetch_failures_.end()) {
+          pending_fetch_failures_.push_back(ff);
+          trace_point("fetch_failure", in.spec.name);
+        }
+      }
+    }
     if (it->spec.on_server) {
       // §III.C fallback: after n failed attempts, fetch from the server.
       log_.debug(actor_, ": falling back to server for ", name, " (", why, ")");
@@ -777,6 +825,7 @@ void Client::crash() {
   running_count_ = 0;
   local_files_.clear();
   cached_input_names_.clear();
+  pending_fetch_failures_.clear();
   serve_.withdraw_all();
   backoff_.reset();
   backoff_until_ = SimTime::zero();

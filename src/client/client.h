@@ -84,6 +84,15 @@ struct ClientConfig {
   /// advertise them in scheduler RPCs (matches the project's
   /// peer_input_distribution).
   bool cache_inputs = false;
+
+  // --- fast lost-work recovery (matches the project-side gates) ---------------
+  /// Attach the list of results this client still holds to every scheduler
+  /// request so the scheduler can reconcile (resend_lost_results). Off by
+  /// default: the extra fields change RPC sizes.
+  bool report_known_results = false;
+  /// Report exhausted peer fetches `(job, map_index, holder)` on the next
+  /// scheduler RPC (report_fetch_failures).
+  bool report_fetch_failures = false;
 };
 
 struct ClientStats {
@@ -187,7 +196,8 @@ class Client {
   void do_rpc();
   void on_reply(const proto::SchedulerReply& reply, bool requested_work,
                 std::vector<std::int64_t> reported_ids);
-  void on_rpc_fail(std::vector<std::int64_t> reported_ids);
+  void on_rpc_fail(std::vector<std::int64_t> reported_ids,
+                   std::vector<proto::FetchFailureReport> sent_fetch_failures);
   bool want_work() const;
   bool want_report_now() const;
   /// Pipelined reduce: a held task still needs mapper locations, which
@@ -259,6 +269,10 @@ class Client {
   int running_count_ = 0;  ///< tasks executing now (≤ spec_.cores)
   std::map<std::string, mr::FilePayload> local_files_;
   std::vector<std::string> cached_input_names_;  ///< advertised in RPCs
+  /// Exhausted peer fetches awaiting delivery to the scheduler; entries
+  /// re-queue if the carrying RPC fails and die with everything else on
+  /// crash().
+  std::vector<proto::FetchFailureReport> pending_fetch_failures_;
 
   ClientStats stats_;
 };

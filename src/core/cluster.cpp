@@ -89,6 +89,8 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
     ccfg.mr_capable = scenario_.boinc_mr && i >= scenario_.n_plain_clients;
     ccfg.mirror_map_outputs = scenario_.project.mirror_map_outputs;
     ccfg.cache_inputs = scenario_.project.peer_input_distribution;
+    ccfg.report_known_results = scenario_.project.resend_lost_results;
+    ccfg.report_fetch_failures = scenario_.project.report_fetch_failures;
     ccfg.report_results_immediately =
         scenario_.client.report_results_immediately;
     if (i < static_cast<int>(scenario_.error_probabilities.size())) {
@@ -224,6 +226,10 @@ std::vector<RunOutcome> Cluster::run_jobs(
     out.server_bytes_sent = st.bytes_sent;
     out.server_bytes_received = st.bytes_received;
     out.scheduler_rpcs = project_->scheduler().stats().rpcs;
+    out.results_lost = project_->scheduler().stats().results_lost;
+    out.fetch_failures_reported =
+        project_->scheduler().stats().fetch_failures_reported;
+    out.maps_invalidated = project_->scheduler().stats().maps_invalidated;
     for (const auto& c : clients_) {
       out.backoffs += c->stats().backoffs;
       out.server_fallbacks += c->stats().server_fallbacks;

@@ -93,6 +93,10 @@ struct RunOutcome {
   std::int64_t backoffs = 0;
   std::int64_t server_fallbacks = 0;
   std::int64_t peer_fetch_attempts = 0;
+  // Fast lost-work recovery (resend_lost_results / report_fetch_failures).
+  std::int64_t results_lost = 0;      ///< reconciled away after client crashes
+  std::int64_t fetch_failures_reported = 0;
+  std::int64_t maps_invalidated = 0;  ///< map WUs re-run after holder loss
   net::TraversalStats traversal;
   fault::FaultStats faults;         ///< injected/recovered fault counters
 };

@@ -45,6 +45,12 @@ Scenario scenario_from_xml(const std::string& xml) {
         p->child_double("delay_bound_s", cfg.delay_bound.as_seconds()));
     cfg.max_wus_in_progress = static_cast<int>(
         p->child_i64("max_wus_in_progress", cfg.max_wus_in_progress));
+    cfg.resend_lost_results =
+        p->child_i64("resend_lost_results", cfg.resend_lost_results ? 1 : 0) !=
+        0;
+    cfg.report_fetch_failures =
+        p->child_i64("report_fetch_failures",
+                     cfg.report_fetch_failures ? 1 : 0) != 0;
     require(cfg.min_quorum >= 1 && cfg.min_quorum <= cfg.target_nresults,
             "scenario xml: need 1 <= min_quorum <= target_nresults");
   }
@@ -222,6 +228,10 @@ std::string scenario_to_xml(const Scenario& s) {
                    common::strprintf("%.0f", s.project.delay_bound.as_seconds()));
   p.add_child_text("max_wus_in_progress",
                    std::to_string(s.project.max_wus_in_progress));
+  p.add_child_text("resend_lost_results",
+                   s.project.resend_lost_results ? "1" : "0");
+  p.add_child_text("report_fetch_failures",
+                   s.project.report_fetch_failures ? "1" : "0");
 
   const auto& rc = s.project.reputation;
   XmlNode& r = root.add_child("replication");

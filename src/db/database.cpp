@@ -27,6 +27,7 @@ const char* to_string(Outcome o) {
     case Outcome::kNoReply: return "no_reply";
     case Outcome::kValidateError: return "validate_error";
     case Outcome::kAbandoned: return "abandoned";
+    case Outcome::kLost: return "lost";
   }
   return "?";
 }

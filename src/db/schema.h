@@ -37,6 +37,8 @@ enum class Outcome {
   kNoReply,      ///< deadline passed without a report
   kValidateError,
   kAbandoned,
+  // Appended (not inserted): snapshots serialize outcomes as integers.
+  kLost,         ///< client lost the work (crash/restart) or its outputs
 };
 const char* to_string(Outcome o);
 

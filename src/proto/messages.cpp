@@ -76,6 +76,20 @@ std::string to_xml(const SchedulerRequest& req) {
   for (const auto& f : req.cached_files) {
     root.add_child_text("cached_file", f);
   }
+  if (req.knows_results) {
+    // Distinct marker so a client holding zero results still differs from
+    // one that does not report its result list at all.
+    XmlNode& kn = root.add_child("known_results");
+    for (const std::int64_t id : req.known_results) {
+      put_i64(kn, "id", id);
+    }
+  }
+  for (const auto& ff : req.failed_fetches) {
+    XmlNode& n = root.add_child("failed_fetch");
+    put_i64(n, "job_id", ff.job_id);
+    put_i64(n, "map_index", ff.map_index);
+    put_i64(n, "holder_host", ff.holder_host);
+  }
   for (const auto& r : req.reports) {
     XmlNode& n = root.add_child("result");
     put_i64(n, "result_id", r.result_id);
@@ -108,6 +122,22 @@ SchedulerRequest request_from_xml(const std::string& xml) {
   req.serving_endpoint = get_endpoint(*root, "serving_endpoint");
   for (const XmlNode* fc : root->children("cached_file")) {
     req.cached_files.push_back(fc->text());
+  }
+  if (const XmlNode* kn = root->child("known_results")) {
+    req.knows_results = true;
+    for (const XmlNode* id : kn->children("id")) {
+      std::int64_t v = 0;
+      require(common::parse_i64(id->text(), &v),
+              "bad known_results id in scheduler_request xml");
+      req.known_results.push_back(v);
+    }
+  }
+  for (const XmlNode* fn : root->children("failed_fetch")) {
+    FetchFailureReport ff;
+    ff.job_id = fn->child_i64("job_id", -1);
+    ff.map_index = static_cast<int>(fn->child_i64("map_index", -1));
+    ff.holder_host = fn->child_i64("holder_host", -1);
+    req.failed_fetches.push_back(ff);
   }
   for (const XmlNode* rn : root->children("result")) {
     ReportedResult r;

@@ -42,6 +42,20 @@ struct ReportedResult {
   std::vector<OutputFileInfo> outputs;
 };
 
+/// A failed inter-client map-output fetch, reported so the jobtracker can
+/// invalidate the dead holder's locations (fast lost-work recovery).
+struct FetchFailureReport {
+  std::int64_t job_id = -1;
+  int map_index = -1;
+  std::int64_t holder_host = -1;
+
+  friend bool operator==(const FetchFailureReport& a,
+                         const FetchFailureReport& b) {
+    return a.job_id == b.job_id && a.map_index == b.map_index &&
+           a.holder_host == b.holder_host;
+  }
+};
+
 struct SchedulerRequest {
   std::int64_t host_id = -1;
   int tasks_queued = 0;              ///< work units on hand (running + queued)
@@ -53,6 +67,16 @@ struct SchedulerRequest {
   /// input distribution; the scheduler hands them out as PeerLocations).
   std::vector<std::string> cached_files;
   std::vector<ReportedResult> reports;
+  /// Fast lost-work recovery (resend_lost_results): when true the client
+  /// enumerated every result it still holds in `known_results`, and the
+  /// scheduler reconciles the list against its in-progress records. The
+  /// fields are only serialized when the mechanism is on, so a disabled
+  /// client's request bytes are unchanged.
+  bool knows_results = false;
+  std::vector<std::int64_t> known_results;
+  /// Exhausted peer fetches since the last delivered RPC (only serialized
+  /// when non-empty).
+  std::vector<FetchFailureReport> failed_fetches;
 };
 
 /// Where a reduce input can be fetched from.

@@ -31,6 +31,12 @@ ProjectConfig parse_mr_jobtracker(const std::string& xml, ProjectConfig base) {
   if (root->has_child("pipelined_reduce")) {
     cfg.pipelined_reduce = root->child_i64("pipelined_reduce") != 0;
   }
+  if (root->has_child("resend_lost_results")) {
+    cfg.resend_lost_results = root->child_i64("resend_lost_results") != 0;
+  }
+  if (root->has_child("report_fetch_failures")) {
+    cfg.report_fetch_failures = root->child_i64("report_fetch_failures") != 0;
+  }
   if (const common::XmlNode* r = root->child("replication")) {
     auto& rc = cfg.reputation;
     if (const std::string* mode = r->attr("policy")) {
@@ -73,6 +79,10 @@ std::string mr_jobtracker_xml(const ProjectConfig& cfg) {
   root.add_child_text("report_map_results_immediately",
                       cfg.report_map_results_immediately ? "1" : "0");
   root.add_child_text("pipelined_reduce", cfg.pipelined_reduce ? "1" : "0");
+  root.add_child_text("resend_lost_results",
+                      cfg.resend_lost_results ? "1" : "0");
+  root.add_child_text("report_fetch_failures",
+                      cfg.report_fetch_failures ? "1" : "0");
   common::XmlNode& r = root.add_child("replication");
   r.set_attr("policy", rep::to_string(cfg.reputation.mode));
   r.add_child_text("min_consecutive_valid",

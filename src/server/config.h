@@ -48,6 +48,19 @@ struct ProjectConfig {
   bool deadline_check = true;
   /// Max results handed out in a single RPC.
   int max_results_per_rpc = 8;
+  /// Fast lost-work recovery (BOINC's "resend lost results"): clients
+  /// enumerate every result they still hold in each scheduler request and
+  /// the scheduler reconciles the list against the DB — an in-progress
+  /// result the client no longer knows about (crash/restart wiped it) is
+  /// marked over/kLost and re-issued at the next transitioner pass instead
+  /// of waiting out the report deadline. Off by default: the extra request
+  /// fields change RPC sizes, so golden traces pin the disabled wire format.
+  bool resend_lost_results = false;
+  /// Companion mechanism: reducers report exhausted inter-client fetches
+  /// `(job, map_index, holder)` on their next RPC; the jobtracker drops the
+  /// dead holder's locations and the map re-runs early when no server
+  /// mirror exists. Same default-off reasoning as resend_lost_results.
+  bool report_fetch_failures = false;
   /// Cap on results simultaneously in progress on one host (BOINC's
   /// max_wus_in_progress); keeps one fast host from draining the feeder.
   int max_wus_in_progress = 2;

@@ -235,13 +235,80 @@ void JobTracker::wu_validated(WorkUnitId wid) {
   if (cfg_.pipelined_reduce && !rt.reduce_created) {
     create_reduce_wus(job);  // eager creation, mitigation E5
   }
-  if (rt.maps_validated == job.n_maps) {
+  // The state check keeps this single-shot when a map re-validates after a
+  // fetch-failure invalidation brought the count back below n_maps.
+  if (rt.maps_validated == job.n_maps &&
+      job.state == db::MrJobState::kMapPhase) {
     job.map_done = sim_.now();
     job.state = db::MrJobState::kReducePhase;
     create_reduce_wus(job);
     log_.info("job '", job.name, "': map phase complete at ",
               job.map_done.str());
   }
+}
+
+JobTracker::FetchFailureAction JobTracker::note_fetch_failure(MrJobId jid,
+                                                              int map_index,
+                                                              HostId holder) {
+  db::MrJobRecord* job = nullptr;
+  try {
+    job = &db_.mr_job(jid);
+  } catch (const Error&) {
+    return FetchFailureAction::kStale;
+  }
+  if (job->state == db::MrJobState::kDone ||
+      job->state == db::MrJobState::kFailed) {
+    return FetchFailureAction::kStale;
+  }
+
+  const auto matches = [&](const db::MapOutputLocation& loc) {
+    return loc.map_index == map_index && loc.holder == holder;
+  };
+  bool any = false;
+  bool mirrored = false;
+  for (const auto& loc : job->map_outputs) {
+    if (!matches(loc)) continue;
+    any = true;
+    mirrored = mirrored || loc.mirrored_on_server;
+  }
+  // Already invalidated (another reducer reported first) or the map was
+  // since re-validated on a different holder: nothing to do.
+  if (!any) return FetchFailureAction::kStale;
+  // Server-mirrored outputs: the reducer's fallback download succeeds, so
+  // the registered locations stay useful for locality and future replicas.
+  if (mirrored) return FetchFailureAction::kMirrored;
+
+  job->map_outputs.erase(std::remove_if(job->map_outputs.begin(),
+                                        job->map_outputs.end(), matches),
+                         job->map_outputs.end());
+  JobRuntime& rt = runtime_.at(jid);
+  --rt.maps_validated;
+
+  for (const WorkUnitId wid : db_.workunits_of_job(jid, db::MrPhase::kMap)) {
+    db::WorkUnitRecord& wu = db_.workunit(wid);
+    if (wu.mr_index != map_index) continue;
+    wu.canonical_found = false;
+    wu.canonical_result = ResultId{};
+    wu.canonical_digest = {};
+    wu.assimilate_state = db::AssimilateState::kInit;
+    for (const ResultId rid : db_.results_of(wid)) {
+      db::ResultRecord& r = db_.result(rid);
+      if (r.server_state == db::ServerState::kOver &&
+          r.outcome == db::Outcome::kSuccess) {
+        // The files behind every finished replica are unreachable (the
+        // canonical holder is dead, siblings have withdrawn): none can
+        // seed the new quorum.
+        r.outcome = db::Outcome::kLost;
+        r.validate_state = db::ValidateState::kInvalid;
+      }
+    }
+    db_.flag_transition(wid);
+    log_.info("job '", job->name, "': map ", map_index,
+              " outputs lost with holder host ", holder.value(),
+              "; re-running");
+    break;
+  }
+  return FetchFailureAction::kInvalidated;
 }
 
 void JobTracker::wu_assimilated(WorkUnitId wid) {

@@ -52,6 +52,20 @@ class JobTracker {
   void wu_assimilated(WorkUnitId wu);
   void wu_errored(WorkUnitId wu);
 
+  /// What a reported peer-fetch failure led to.
+  enum class FetchFailureAction {
+    kStale,        ///< unknown job / holder no longer registered / job over
+    kMirrored,     ///< outputs mirrored on the server; fallback covers it
+    kInvalidated,  ///< holder's locations dropped, map flagged to re-run
+  };
+  /// Fast lost-work recovery: a reducer exhausted its fetch attempts
+  /// against `holder` for map `map_index`. Unless the outputs are server-
+  /// mirrored, drops the holder's registered locations, voids the stale
+  /// validated results (their outputs are unreachable), and flags the map
+  /// work unit so the transitioner re-runs it ahead of any deadline.
+  FetchFailureAction note_fetch_failure(MrJobId job, int map_index,
+                                        HostId holder);
+
   // --- scheduler queries -------------------------------------------------------
   /// Validated map outputs feeding reduce partition `r`, map-index order.
   std::vector<proto::PeerLocation> locations_for(MrJobId job, int r) const;

@@ -48,6 +48,14 @@ proto::SchedulerReply Scheduler::process(const proto::SchedulerRequest& req) {
 
   if (cfg_.peer_input_distribution) note_cached_files(host, req.cached_files);
   for (const auto& rep : req.reports) handle_report(host, rep);
+  // Reconcile after reports: results reported in this RPC are kOver by now
+  // and cannot be misdiagnosed as lost.
+  if (cfg_.resend_lost_results && req.knows_results) {
+    reconcile_known_results(host, req.known_results);
+  }
+  if (cfg_.report_fetch_failures) {
+    for (const auto& ff : req.failed_fetches) handle_fetch_failure(host, ff);
+  }
 
   proto::SchedulerReply reply;
   reply.request_delay = cfg_.min_request_delay;
@@ -62,8 +70,10 @@ proto::SchedulerReply Scheduler::process(const proto::SchedulerRequest& req) {
   }
 
   // Pipelined reduce (E5): stream newly validated mapper locations to
-  // reducers that are still collecting inputs.
-  if (cfg_.pipelined_reduce) {
+  // reducers that are still collecting inputs. With fetch-failure reporting
+  // on, reduce replicas can also be assigned while an invalidated map
+  // re-runs, and they learn the fresh locations the same way.
+  if (cfg_.pipelined_reduce || cfg_.report_fetch_failures) {
     for (const ResultId rid : db_.in_progress_on_host(host)) {
       const db::ResultRecord& r = db_.result(rid);
       const db::WorkUnitRecord& wu = db_.workunit(r.wu);
@@ -166,6 +176,48 @@ void Scheduler::handle_report(HostId host, const proto::ReportedResult& rep) {
              rep.success ? " (success)" : " (error)");
 }
 
+void Scheduler::reconcile_known_results(
+    HostId host, const std::vector<std::int64_t>& known) {
+  for (const ResultId rid : db_.in_progress_on_host(host)) {
+    if (std::find(known.begin(), known.end(), rid.value()) != known.end()) {
+      continue;
+    }
+    // The client no longer knows about this in-progress result — a crash or
+    // restart wiped it (or the assigning reply never arrived). Close it out
+    // now instead of waiting for the report deadline.
+    db::ResultRecord& r = db_.result(rid);
+    r.server_state = db::ServerState::kOver;
+    r.outcome = db::Outcome::kLost;
+    ++stats_.results_lost;
+    if (policy_) policy_->store().record_error(host);
+    db_.flag_transition(r.wu);
+    if (trace_) trace_->point(sim_.now(), "scheduler", "resend_lost", r.name);
+    log_.info("host ", host.value(), " lost ", r.name,
+              "; re-issuing ahead of its deadline");
+  }
+}
+
+void Scheduler::handle_fetch_failure(HostId reporter,
+                                     const proto::FetchFailureReport& ff) {
+  ++stats_.fetch_failures_reported;
+  const auto action = jobtracker_.note_fetch_failure(
+      MrJobId{ff.job_id}, ff.map_index, HostId{ff.holder_host});
+  if (action == JobTracker::FetchFailureAction::kInvalidated) {
+    ++stats_.maps_invalidated;
+    if (trace_) {
+      trace_->point(sim_.now(), "scheduler", "map_invalidated",
+                    "job" + std::to_string(ff.job_id) + "/map" +
+                        std::to_string(ff.map_index) + " holder" +
+                        std::to_string(ff.holder_host));
+    }
+    log_.info("host ", reporter.value(), " could not fetch map ",
+              ff.map_index, " outputs from host ", ff.holder_host,
+              "; invalidated, map will re-run");
+  } else {
+    ++stats_.fetch_failures_ignored;
+  }
+}
+
 void Scheduler::assign_work(const proto::SchedulerRequest& req,
                             proto::SchedulerReply& reply) {
   const HostId host{req.host_id};
@@ -173,6 +225,14 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
   double filled_seconds = 0;
   int host_in_progress =
       static_cast<int>(db_.in_progress_on_host(host).size());
+
+  // Skip counters are only meaningful while a result awaits dispatch; drop
+  // them once it is assigned or its WU completes, or the maps grow without
+  // bound across a long run.
+  const auto drop_skip_counters = [this](ResultId rid) {
+    locality_skips_.erase(rid);
+    trust_skips_.erase(rid);
+  };
 
   // Snapshot: assignment mutates the cache through feeder_.remove().
   const std::vector<ResultId> cache = feeder_.cache();
@@ -184,10 +244,16 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
     db::ResultRecord& r = db_.result(rid);
     if (r.server_state != db::ServerState::kUnsent) {
       feeder_.remove(rid);
+      drop_skip_counters(rid);
       continue;
     }
     db::WorkUnitRecord& wu = db_.workunit(r.wu);
-    if (wu.error_mass || wu.canonical_found) continue;
+    if (wu.error_mass || wu.canonical_found) {
+      // The transitioner will abort this replica; its deferral history is
+      // dead weight either way.
+      drop_skip_counters(rid);
+      continue;
+    }
 
     if (cfg_.one_result_per_host_per_wu) {
       bool host_has_sibling = false;
@@ -248,6 +314,7 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
     r.sent_time = sim_.now();
     r.report_deadline = sim_.now() + wu.delay_bound;
     feeder_.remove(rid);
+    drop_skip_counters(rid);
     ++stats_.results_dispatched;
     ++host_in_progress;
 

@@ -38,6 +38,12 @@ struct SchedulerStats {
   std::int64_t spot_checks = 0;       ///< trusted host, replicated anyway
   std::int64_t trust_escalations = 0; ///< untrusted host forced a full quorum
   std::int64_t trust_skips = 0;       ///< deferrals waiting for a trusted host
+
+  // Fast lost-work recovery.
+  std::int64_t results_lost = 0;      ///< reconciled away (client forgot them)
+  std::int64_t fetch_failures_reported = 0;  ///< failed-fetch reports received
+  std::int64_t fetch_failures_ignored = 0;   ///< stale or server-mirrored
+  std::int64_t maps_invalidated = 0;  ///< map WUs re-issued early
 };
 
 class Scheduler {
@@ -66,6 +72,12 @@ class Scheduler {
 
  private:
   void handle_report(HostId host, const proto::ReportedResult& rep);
+  /// resend_lost_results: marks in-progress results the client no longer
+  /// knows about as kOver/kLost and flags their WUs for transition.
+  void reconcile_known_results(HostId host,
+                               const std::vector<std::int64_t>& known);
+  void handle_fetch_failure(HostId reporter,
+                            const proto::FetchFailureReport& ff);
   void assign_work(const proto::SchedulerRequest& req,
                    proto::SchedulerReply& reply);
   proto::AssignedTask build_task(const db::ResultRecord& r,

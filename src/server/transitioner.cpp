@@ -60,6 +60,23 @@ void Transitioner::transition(db::WorkUnitRecord& wu) {
     errors = wu.max_error_results;  // force the error-mass path below
   }
 
+  // Quorum reached: the work unit is complete regardless of how many
+  // replicas failed, so this must be checked before the error-mass cut —
+  // otherwise a late straggler timing out after validation could push a
+  // finished WU into error_mass and fail the whole job.
+  if (wu.canonical_found) {
+    // Unsent replicas are no longer needed.
+    for (const ResultId rid : db_.results_of(wu.id)) {
+      db::ResultRecord& r = db_.result(rid);
+      if (r.server_state == db::ServerState::kUnsent) {
+        r.server_state = db::ServerState::kOver;
+        r.outcome = db::Outcome::kAbandoned;
+        ++stats_.results_aborted;
+      }
+    }
+    return;
+  }
+
   // Too many failures: give up on the work unit.
   if (errors >= wu.max_error_results) {
     wu.error_mass = true;
@@ -73,19 +90,6 @@ void Transitioner::transition(db::WorkUnitRecord& wu) {
       }
     }
     if (on_error_) on_error_(wu.id);
-    return;
-  }
-
-  if (wu.canonical_found) {
-    // Quorum reached: unsent replicas are no longer needed.
-    for (const ResultId rid : db_.results_of(wu.id)) {
-      db::ResultRecord& r = db_.result(rid);
-      if (r.server_state == db::ServerState::kUnsent) {
-        r.server_state = db::ServerState::kOver;
-        r.outcome = db::Outcome::kAbandoned;
-        ++stats_.results_aborted;
-      }
-    }
     return;
   }
 

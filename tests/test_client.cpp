@@ -20,7 +20,12 @@ TEST(Backoff, EscalatesAndCaps) {
   EXPECT_NEAR(b.next().as_seconds(), 480, 1e-9);
   EXPECT_NEAR(b.next().as_seconds(), 600, 1e-9);  // paper's observed cap
   EXPECT_NEAR(b.next().as_seconds(), 600, 1e-9);
-  EXPECT_EQ(b.failures(), 6);
+  // The failure counter stops escalating once doubling can no longer raise
+  // the delay, so it stays bounded over arbitrarily long failure streaks.
+  EXPECT_EQ(b.failures(), 4);
+  for (int i = 0; i < 1000; ++i) b.next();
+  EXPECT_EQ(b.failures(), 4);
+  EXPECT_NEAR(b.next().as_seconds(), 600, 1e-9);
 }
 
 TEST(Backoff, ResetRestartsLadder) {

@@ -41,6 +41,8 @@ TEST(ScenarioIo, FullDocument) {
       <target_nresults>3</target_nresults><min_quorum>2</min_quorum>
       <mirror_map_outputs>0</mirror_map_outputs>
       <pipelined_reduce>1</pipelined_reduce>
+      <resend_lost_results>1</resend_lost_results>
+      <report_fetch_failures>1</report_fetch_failures>
     </project>
     <client>
       <backoff_max_s>300</backoff_max_s>
@@ -66,6 +68,8 @@ TEST(ScenarioIo, FullDocument) {
   EXPECT_EQ(s.project.target_nresults, 3);
   EXPECT_FALSE(s.project.mirror_map_outputs);
   EXPECT_TRUE(s.project.pipelined_reduce);
+  EXPECT_TRUE(s.project.resend_lost_results);
+  EXPECT_TRUE(s.project.report_fetch_failures);
   EXPECT_EQ(s.client.backoff_max, SimTime::seconds(300));
   EXPECT_EQ(s.client.peer_fetch.max_attempts, 5);
   EXPECT_DOUBLE_EQ(s.server_up_bps, 50e6 / 8);
@@ -85,6 +89,8 @@ TEST(ScenarioIo, FullDocument) {
   EXPECT_EQ(back.n_nodes, 12);
   EXPECT_EQ(back.host_preset, "internet");
   EXPECT_TRUE(back.use_overlay);
+  EXPECT_TRUE(back.project.resend_lost_results);
+  EXPECT_TRUE(back.project.report_fetch_failures);
   ASSERT_TRUE(back.nat_mix.has_value());
   EXPECT_DOUBLE_EQ(back.nat_mix->symmetric, 0.5);
 }

@@ -90,6 +90,10 @@ TEST(FaultRegression, NoFaultsBitIdenticalBoincMr) {
   EXPECT_EQ(out.backoffs, 26);
   EXPECT_EQ(cluster.simulation().events_executed(), 455);
   EXPECT_EQ(out.faults.injected(), 0);
+  // Recovery mechanisms default off: nothing reconciled, nothing voided.
+  EXPECT_EQ(out.results_lost, 0);
+  EXPECT_EQ(out.fetch_failures_reported, 0);
+  EXPECT_EQ(out.maps_invalidated, 0);
 }
 
 TEST(FaultRegression, NoFaultsBitIdenticalPlain) {
@@ -271,7 +275,96 @@ TEST(FaultRecovery, CombinedChaosSchedule) {
   EXPECT_GE(out.faults.recovered(), 4);
 }
 
-// --- 3. determinism ---------------------------------------------------------
+// --- 3. fast lost-work recovery ---------------------------------------------
+
+TEST(FastRecovery, CrashReconnectReissuesOnFirstRpc) {
+  const std::string text = corpus(150 * 1024, 31);
+  // Host 4 polls first (~t = 11 s) and grabs one replica of every map; a
+  // crash at t = 14 s wipes work the quorums cannot complete without.
+  fault::ClientCrash c;
+  c.host = 4;
+  c.at = SimTime::seconds(14);
+  c.restart_at = SimTime::seconds(60);
+
+  // Mechanism off: the wiped tasks sit kInProgress until their report
+  // deadline — recovery is deadline-bound.
+  core::Scenario off = recovery_scenario(text);
+  off.faults.crashes.push_back(c);
+  core::Cluster slow(off);
+  const core::RunOutcome deadline_bound = slow.run_job();
+
+  // Mechanism on: the restarted client's first RPC carries an empty
+  // known-results list; reconciliation marks the wiped tasks lost and the
+  // transitioner re-issues them on the spot.
+  core::Scenario on = recovery_scenario(text);
+  on.project.resend_lost_results = true;
+  on.faults.crashes.push_back(c);
+  on.record_trace = true;
+  core::Cluster fast(on);
+  const core::RunOutcome reconciled = fast.run_job();
+
+  ASSERT_TRUE(deadline_bound.metrics.completed);
+  ASSERT_TRUE(reconciled.metrics.completed);
+  EXPECT_EQ(fast.collect_output(reconciled.job), oracle(text, 4, 2));
+  EXPECT_EQ(deadline_bound.results_lost, 0);
+  EXPECT_GE(reconciled.results_lost, 1);
+  EXPECT_LT(reconciled.metrics.total_seconds,
+            deadline_bound.metrics.total_seconds);
+
+  // Reconciliation fired on the first post-restart RPC (t = 60 s), not at
+  // the 3-minute report deadline.
+  SimTime first_resend = SimTime::infinity();
+  for (const auto& p : fast.trace().points_for("scheduler")) {
+    if (p.label == "resend_lost") {
+      first_resend = p.at;
+      break;
+    }
+  }
+  EXPECT_GE(first_resend, SimTime::seconds(60));
+  EXPECT_LE(first_resend, SimTime::seconds(75));
+}
+
+TEST(FastRecovery, FetchFailureInvalidatesDeadHolder) {
+  // No server mirror: when the only holder of a validated map output dies,
+  // reducers exhaust their peer-fetch attempts. With report_fetch_failures
+  // on, the failure rides the next RPC, the jobtracker voids the dead
+  // holder's locations, and the map re-runs ahead of any deadline.
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  s.project.mirror_map_outputs = false;
+  s.project.resend_lost_results = true;
+  s.project.report_fetch_failures = true;
+  s.project.max_error_results = 10;
+  s.project.max_total_results = 20;
+  fault::ClientCrash c;
+  c.host = 4;  // the fast host: first to validate, so the canonical holder
+  c.at = SimTime::seconds(65);  // after the maps validate, before reduce ends
+  s.faults.crashes.push_back(c);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_GE(out.fetch_failures_reported, 1);
+  EXPECT_GE(out.maps_invalidated, 1);
+}
+
+TEST(FastRecovery, MechanismsOnWithoutFaultsAreInert) {
+  // Both mechanisms enabled on a fault-free run: nothing is ever
+  // reconciled away or invalidated — the job completes normally.
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  s.project.resend_lost_results = true;
+  s.project.report_fetch_failures = true;
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.results_lost, 0);
+  EXPECT_EQ(out.fetch_failures_reported, 0);
+  EXPECT_EQ(out.maps_invalidated, 0);
+}
+
+// --- 4. determinism ---------------------------------------------------------
 
 TEST(FaultDeterminism, SameScheduleTwiceIsIdentical) {
   const std::string text = corpus(150 * 1024, 31);

@@ -52,6 +52,39 @@ TEST(Proto, RequestRoundTrip) {
   EXPECT_TRUE(back.reports[0].outputs[0].uploaded);
 }
 
+TEST(Proto, LostWorkFieldsRoundTrip) {
+  SchedulerRequest req;
+  req.host_id = 3;
+  req.knows_results = true;
+  req.known_results = {11, 29};
+  FetchFailureReport ff;
+  ff.job_id = 2;
+  ff.map_index = 4;
+  ff.holder_host = 9;
+  req.failed_fetches.push_back(ff);
+
+  const SchedulerRequest back = request_from_xml(to_xml(req));
+  EXPECT_TRUE(back.knows_results);
+  EXPECT_EQ(back.known_results, (std::vector<std::int64_t>{11, 29}));
+  ASSERT_EQ(back.failed_fetches.size(), 1u);
+  EXPECT_EQ(back.failed_fetches[0], ff);
+
+  // Disabled-mechanism requests put none of this on the wire, so byte
+  // counts (and thus simulated network timing) match the old format.
+  const std::string off = to_xml(SchedulerRequest{});
+  EXPECT_EQ(off.find("known_results"), std::string::npos);
+  EXPECT_EQ(off.find("failed_fetch"), std::string::npos);
+  EXPECT_FALSE(request_from_xml(off).knows_results);
+
+  // An *empty* known list still round-trips as "I know nothing" — the
+  // signal a freshly restarted client sends on its first RPC.
+  SchedulerRequest fresh;
+  fresh.knows_results = true;
+  const SchedulerRequest fresh_back = request_from_xml(to_xml(fresh));
+  EXPECT_TRUE(fresh_back.knows_results);
+  EXPECT_TRUE(fresh_back.known_results.empty());
+}
+
 TEST(Proto, ReplyRoundTrip) {
   SchedulerReply reply;
   reply.request_delay = SimTime::seconds(6);

@@ -24,6 +24,8 @@ TEST(Config, ParseMrJobtracker) {
     <min_quorum>2</min_quorum>
     <mirror_map_outputs>0</mirror_map_outputs>
     <pipelined_reduce>1</pipelined_reduce>
+    <resend_lost_results>1</resend_lost_results>
+    <report_fetch_failures>1</report_fetch_failures>
   </mr_jobtracker>)";
   const ProjectConfig cfg = parse_mr_jobtracker(xml);
   EXPECT_EQ(cfg.default_n_maps, 30);
@@ -32,6 +34,11 @@ TEST(Config, ParseMrJobtracker) {
   EXPECT_EQ(cfg.min_quorum, 2);
   EXPECT_FALSE(cfg.mirror_map_outputs);
   EXPECT_TRUE(cfg.pipelined_reduce);
+  EXPECT_TRUE(cfg.resend_lost_results);
+  EXPECT_TRUE(cfg.report_fetch_failures);
+  // Both recovery mechanisms default off (golden traces stay identical).
+  EXPECT_FALSE(ProjectConfig{}.resend_lost_results);
+  EXPECT_FALSE(ProjectConfig{}.report_fetch_failures);
 }
 
 TEST(Config, RoundTripThroughXml) {
@@ -39,10 +46,14 @@ TEST(Config, RoundTripThroughXml) {
   cfg.default_n_maps = 40;
   cfg.default_n_reducers = 5;
   cfg.report_map_results_immediately = true;
+  cfg.resend_lost_results = true;
+  cfg.report_fetch_failures = true;
   const ProjectConfig back = parse_mr_jobtracker(mr_jobtracker_xml(cfg));
   EXPECT_EQ(back.default_n_maps, 40);
   EXPECT_EQ(back.default_n_reducers, 5);
   EXPECT_TRUE(back.report_map_results_immediately);
+  EXPECT_TRUE(back.resend_lost_results);
+  EXPECT_TRUE(back.report_fetch_failures);
 }
 
 TEST(Config, RejectsInvalid) {
@@ -200,6 +211,36 @@ TEST(Transitioner, ErrorMassAbandonsWorkUnit) {
   for (auto* r : f.results()) {
     EXPECT_NE(r->server_state, db::ServerState::kUnsent);
   }
+}
+
+TEST(Transitioner, QuorumReachedThenStragglerTimesOut) {
+  // Regression: a straggler blowing the error budget *after* the work unit
+  // validated must not push it into error_mass — canonical_found wins.
+  DaemonFixture f;
+  db::WorkUnitRecord& wu = f.db.workunit(f.wu);
+  wu.target_nresults = 3;
+  wu.max_error_results = 1;  // a single timeout would trip the error cut
+  Transitioner tr(f.db, f.cfg);
+  bool errored = false;
+  tr.set_error_listener([&](WorkUnitId) { errored = true; });
+  tr.pass(SimTime::zero());
+  auto rs = f.results();
+  ASSERT_EQ(rs.size(), 3u);
+  // Two matching replicas reach quorum and validate.
+  f.report(*rs[0], HostId{1}, {});
+  f.report(*rs[1], HostId{2}, {});
+  rs[0]->validate_state = db::ValidateState::kValid;
+  rs[1]->validate_state = db::ValidateState::kValid;
+  wu.canonical_found = true;
+  wu.canonical_result = rs[0]->id;
+  // The third replica is still out on a slow host and misses its deadline.
+  f.send(*rs[2], HostId{3}, SimTime::seconds(100));
+  tr.pass(SimTime::seconds(101));
+  EXPECT_EQ(rs[2]->outcome, db::Outcome::kNoReply);
+  EXPECT_FALSE(f.db.workunit(f.wu).error_mass);
+  EXPECT_FALSE(errored);
+  // And no replacement replica is minted for a finished work unit.
+  EXPECT_EQ(f.db.results_of(f.wu).size(), 3u);
 }
 
 TEST(Validator, QuorumOfTwoValidates) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/strings.h"
@@ -91,52 +92,8 @@ inline std::string cell(double raw, double trimmed) {
 }
 
 /// One machine-readable result line: chain field() calls, then emit().
-/// Keys are emitted in insertion order so lines diff cleanly across runs.
-class JsonRow {
- public:
-  JsonRow& field(const std::string& key, const std::string& v) {
-    return raw(key, "\"" + escaped(v) + "\"");
-  }
-  JsonRow& field(const std::string& key, const char* v) {
-    return field(key, std::string(v));
-  }
-  JsonRow& field(const std::string& key, double v) {
-    return raw(key, common::strprintf("%.6g", v));
-  }
-  JsonRow& field(const std::string& key, std::int64_t v) {
-    return raw(key, common::strprintf("%lld", static_cast<long long>(v)));
-  }
-  JsonRow& field(const std::string& key, int v) {
-    return field(key, static_cast<std::int64_t>(v));
-  }
-  JsonRow& field(const std::string& key, bool v) {
-    return raw(key, v ? "true" : "false");
-  }
-
-  std::string str() const { return "{" + body_ + "}"; }
-  /// Prints the row as one line on stdout.
-  void emit() const { std::printf("%s\n", str().c_str()); }
-
- private:
-  JsonRow& raw(const std::string& key, const std::string& value) {
-    if (!body_.empty()) body_ += ", ";
-    body_ += "\"" + escaped(key) + "\": " + value;
-    return *this;
-  }
-  static std::string escaped(const std::string& s) {
-    std::string out;
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      if (static_cast<unsigned char>(c) < 0x20) {
-        out += common::strprintf("\\u%04x", c);
-      } else {
-        out += c;
-      }
-    }
-    return out;
-  }
-
-  std::string body_;
-};
+/// Thin alias over the shared JSON writer (src/common/json.h); the output
+/// format is unchanged, which tests/test_obs.cpp pins.
+using JsonRow = common::JsonWriter;
 
 }  // namespace vcmr::bench

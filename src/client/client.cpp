@@ -5,7 +5,10 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "mr/task.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
 #include "server/jobtracker.h"
 
 namespace vcmr::client {
@@ -70,6 +73,17 @@ std::size_t Client::trace_begin(const std::string& label,
 }
 void Client::trace_end(std::size_t token) {
   if (trace_) trace_->end_span(token, sim_.now());
+}
+
+void Client::note_backoff(SimTime delay, const char* why) {
+  obs::MetricsRegistry::instance()
+      .histogram("client", "backoff_seconds",
+                 {30, 60, 120, 240, 480, 600}, {{"host", actor_}})
+      .observe(delay.as_seconds());
+  if (obs::EventBus::instance().active()) {
+    obs::publish(sim_.now(), "client", "backoff", actor_,
+                 common::strprintf("%s %.3f", why, delay.as_seconds()));
+  }
 }
 
 // --- RPC -----------------------------------------------------------------
@@ -191,6 +205,12 @@ void Client::do_rpc() {
 
   rpc_in_flight_ = true;
   ++stats_.rpcs;
+  obs::MetricsRegistry::instance().counter("client", "rpcs").add();
+  if (requesting) {
+    obs::MetricsRegistry::instance()
+        .counter("client", "work_fetch_requests")
+        .add();
+  }
 
   net::HttpRequest hreq;
   hreq.method = "POST";
@@ -220,6 +240,7 @@ void Client::on_rpc_fail(
     std::vector<proto::FetchFailureReport> sent_fetch_failures) {
   rpc_in_flight_ = false;
   ++stats_.rpc_failures;
+  obs::MetricsRegistry::instance().counter("client", "rpc_failures").add();
   // Reports were not delivered; queue them again.
   for (const std::int64_t id : reported_ids) {
     if (Task* t = find_task(id)) {
@@ -233,8 +254,10 @@ void Client::on_rpc_fail(
       pending_fetch_failures_.push_back(ff);
     }
   }
-  backoff_until_ = sim_.now() + backoff_.next();
+  const SimTime delay = backoff_.next();
+  backoff_until_ = sim_.now() + delay;
   ++stats_.backoffs;
+  note_backoff(delay, "rpc_fail");
   consider_rpc();
 }
 
@@ -274,8 +297,10 @@ void Client::on_reply(const proto::SchedulerReply& reply, bool requested_work,
 
   if (requested_work) {
     if (reply.tasks.empty()) {
-      backoff_until_ = sim_.now() + backoff_.next();
+      const SimTime delay = backoff_.next();
+      backoff_until_ = sim_.now() + delay;
       ++stats_.backoffs;
+      note_backoff(delay, "empty_reply");
       backoff_span_ = trace_begin("backoff", "");
     } else {
       backoff_.reset();
@@ -292,6 +317,7 @@ void Client::on_reply(const proto::SchedulerReply& reply, bool requested_work,
 
 void Client::accept_task(const proto::AssignedTask& assign) {
   ++stats_.tasks_received;
+  obs::MetricsRegistry::instance().counter("client", "tasks_received").add();
   trace_point("assign", assign.result_name);
 
   Task t;
@@ -615,6 +641,7 @@ void Client::finish_execution(Task& task) {
   trace_end(task.compute_span);
   --running_count_;
   ++stats_.tasks_completed;
+  obs::MetricsRegistry::instance().counter("client", "tasks_completed").add();
 
   // Byzantine model: a faulty/malicious client reports a corrupted digest
   // (the quorum validator is what catches this, §III.B).
@@ -739,6 +766,8 @@ void Client::fail_task(Task& task, const std::string& why) {
   }
   log_.warn(actor_, ": task ", task.assign.result_name, " failed: ", why);
   ++stats_.tasks_failed;
+  obs::MetricsRegistry::instance().counter("client", "tasks_failed").add();
+  obs::publish(sim_.now(), "client", "task_failed", actor_, why);
   task.report_success = false;
   task.outputs.clear();
   task.pending_uploads.clear();
@@ -834,6 +863,8 @@ void Client::crash() {
     net_.set_online(node_, false);
   }
   log_.info(actor_, ": crashed at t=", sim_.now().str());
+  obs::MetricsRegistry::instance().counter("client", "crashes").add();
+  obs::publish(sim_.now(), "client", "crash", actor_);
   trace_point("crash", "");
 }
 
@@ -844,6 +875,7 @@ void Client::restart() {
   net_.set_online(node_, true);
   next_allowed_rpc_ = sim_.now();
   log_.info(actor_, ": restarted at t=", sim_.now().str());
+  obs::publish(sim_.now(), "client", "restart", actor_);
   trace_point("restart", "");
   consider_rpc();
 }

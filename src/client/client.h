@@ -232,6 +232,10 @@ class Client {
   std::size_t trace_begin(const std::string& label, const std::string& detail);
   void trace_end(std::size_t token);
 
+  /// Telemetry for a freshly drawn backoff delay: per-host histogram plus a
+  /// "backoff" event when an exporter is listening.
+  void note_backoff(SimTime delay, const char* why);
+
   sim::Simulation& sim_;
   net::Network& net_;
   net::HttpService& http_;

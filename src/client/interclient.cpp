@@ -2,11 +2,16 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vcmr::client {
 
 namespace {
 common::Logger log_("interclient");
+
+obs::Counter& ic_counter(const char* name) {
+  return obs::MetricsRegistry::instance().counter("interclient", name);
+}
 }
 
 // --- PeerRegistry -------------------------------------------------------------
@@ -95,10 +100,12 @@ bool MapOutputServer::start_serving(
   const auto it = files_.find(name);
   if (it == files_.end()) {
     ++stats_.rejected_missing;
+    ic_counter("serve_rejected_missing").add();
     return false;
   }
   if (active_ >= cfg_.max_connections) {
     ++stats_.rejected_busy;
+    ic_counter("serve_rejected_busy").add();
     return false;
   }
   ++active_;
@@ -118,6 +125,8 @@ bool MapOutputServer::start_serving(
     --active_;
     ++stats_.served;
     stats_.bytes_served += payload.size;
+    ic_counter("files_served").add();
+    ic_counter("bytes_served").add(payload.size);
     if (on_done) on_done(payload);
   };
   fs.on_fail = [this, on_fail = std::move(on_fail)](net::NetError err) {
@@ -153,10 +162,12 @@ void PeerFetcher::attempt(net::Endpoint ep, std::string name, int tries_left,
                           std::function<void(std::string)> on_fail) {
   if (tries_left <= 0) {
     ++stats_.fetches_failed;
+    ic_counter("fetch_failures").add();
     if (on_fail) on_fail("peer fetch attempts exhausted for " + name);
     return;
   }
   ++stats_.attempts;
+  ic_counter("fetch_attempts").add();
 
   auto retry = [this, ep, name, tries_left, on_done,
                 on_fail](const std::string& why) {
@@ -181,6 +192,8 @@ void PeerFetcher::attempt(net::Endpoint ep, std::string name, int tries_left,
         [this, on_done](const mr::FilePayload& p) {
           ++stats_.fetches_ok;
           stats_.bytes_fetched += p.size;
+          ic_counter("fetch_ok").add();
+          ic_counter("bytes_fetched").add(p.size);
           if (on_done) on_done(p);
         },
         [retry](net::NetError err) { retry(net::to_string(err)); });

@@ -1,0 +1,55 @@
+#include "common/json.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace vcmr::common {
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& v) {
+  return raw(key, quoted(v));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double v) {
+  return raw(key, strprintf("%.6g", v));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::int64_t v) {
+  return raw(key, strprintf("%lld", static_cast<long long>(v)));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool v) {
+  return raw(key, v ? "true" : "false");
+}
+
+JsonWriter& JsonWriter::field_json(const std::string& key,
+                                   const std::string& raw_json) {
+  return raw(key, raw_json);
+}
+
+void JsonWriter::emit() const { std::printf("%s\n", str().c_str()); }
+
+JsonWriter& JsonWriter::raw(const std::string& key, const std::string& value) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += "\"" + escaped(key) + "\": " + value;
+  return *this;
+}
+
+std::string JsonWriter::escaped(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += strprintf("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::quoted(const std::string& s) {
+  return "\"" + escaped(s) + "\"";
+}
+
+}  // namespace vcmr::common

@@ -39,11 +39,14 @@ class LogConfig {
 
   void set_sink(LogSink sink);
   void reset_sink();
+  /// The currently installed sink (for save/restore guards).
+  LogSink sink() const { return sink_; }
   void emit(const LogRecord& rec) const;
 
   /// Simulation clock provider; set by sim::Simulation when constructed.
   void set_time_provider(std::function<SimTime()> provider);
   void clear_time_provider();
+  std::function<SimTime()> time_provider() const { return time_provider_; }
 
   bool time(SimTime* out) const;
 
@@ -52,6 +55,54 @@ class LogConfig {
   LogLevel level_ = LogLevel::kInfo;
   LogSink sink_;
   std::function<SimTime()> time_provider_;
+};
+
+/// RAII guards for the process-wide LogConfig singletons. A sink or time
+/// provider installed raw leaks into every later test in the binary; these
+/// save the previous value and restore it when the scope ends.
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(LogSink sink) : prev_(LogConfig::instance().sink()) {
+    LogConfig::instance().set_sink(std::move(sink));
+  }
+  ~ScopedLogSink() { LogConfig::instance().set_sink(std::move(prev_)); }
+
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+ private:
+  LogSink prev_;
+};
+
+class ScopedTimeProvider {
+ public:
+  explicit ScopedTimeProvider(std::function<SimTime()> provider)
+      : prev_(LogConfig::instance().time_provider()) {
+    LogConfig::instance().set_time_provider(std::move(provider));
+  }
+  ~ScopedTimeProvider() {
+    LogConfig::instance().set_time_provider(std::move(prev_));
+  }
+
+  ScopedTimeProvider(const ScopedTimeProvider&) = delete;
+  ScopedTimeProvider& operator=(const ScopedTimeProvider&) = delete;
+
+ private:
+  std::function<SimTime()> prev_;
+};
+
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : prev_(LogConfig::instance().level()) {
+    LogConfig::instance().set_level(level);
+  }
+  ~ScopedLogLevel() { LogConfig::instance().set_level(prev_); }
+
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel prev_;
 };
 
 /// Named logger handle; cheap to copy.

@@ -4,6 +4,8 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
 
 namespace vcmr::core {
 
@@ -243,6 +245,27 @@ std::vector<RunOutcome> Cluster::run_jobs(
     log_.info("job ", job.value(), out.metrics.completed ? " completed" :
               (out.metrics.failed ? " FAILED" : " timed out"),
               " at t=", sim_->now().str());
+
+    // Job-level roll-up: gauges keyed by job id so multi-job runs keep each
+    // job's summary distinct in the metrics export.
+    auto& reg = obs::MetricsRegistry::instance();
+    const obs::Labels job_label = {{"job", std::to_string(job.value())}};
+    reg.gauge("job", "total_seconds", job_label)
+        .set(out.metrics.total_seconds);
+    reg.gauge("job", "completed", job_label)
+        .set(out.metrics.completed ? 1 : 0);
+    reg.gauge("job", "server_bytes_sent", job_label)
+        .set(static_cast<double>(out.server_bytes_sent));
+    reg.gauge("job", "server_bytes_received", job_label)
+        .set(static_cast<double>(out.server_bytes_received));
+    reg.gauge("job", "backoffs", job_label)
+        .set(static_cast<double>(out.backoffs));
+    obs::publish(sim_->now(), "cluster",
+                 out.metrics.completed
+                     ? "job_completed"
+                     : (out.metrics.failed ? "job_failed" : "job_timeout"),
+                 "cluster", "job" + std::to_string(job.value()));
+
     outcomes.push_back(std::move(out));
   }
   return outcomes;

@@ -3,6 +3,8 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
 
 namespace vcmr::fault {
 
@@ -60,6 +62,10 @@ Injector::Injector(sim::Simulation& sim, FaultPlan plan, Hooks hooks,
 
 void Injector::record(const std::string& label, const std::string& detail) {
   log_.debug(label, " ", detail, " at t=", sim_.now().str());
+  obs::MetricsRegistry::instance()
+      .counter("fault", "injections", {{"kind", label}})
+      .add();
+  obs::publish(sim_.now(), "fault", label, "fault", detail);
   if (trace_) trace_->point(sim_.now(), "fault", label, detail);
 }
 

@@ -1,6 +1,7 @@
 #include "net/http.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace vcmr::net {
 
@@ -21,6 +22,10 @@ void HttpService::request(NodeId client, Endpoint server, HttpRequest req,
                           std::function<void(NetError)> on_fail,
                           FlowPriority priority, std::optional<NodeId> relay) {
   req.from = client;
+  obs::MetricsRegistry::instance().counter("http", "requests").add();
+  obs::MetricsRegistry::instance()
+      .counter("http", "request_bytes")
+      .add(kHeaderBytes + req.body_size);
 
   auto fail = [this, on_fail](NetError err) {
     net_.sim().after(SimTime::zero(), [on_fail, err] {
@@ -89,6 +94,9 @@ void HttpService::deliver_response(
     std::function<void(const HttpResponse&)> on_done,
     std::function<void(NetError)> on_fail, FlowPriority priority,
     std::optional<NodeId> relay) {
+  obs::MetricsRegistry::instance()
+      .counter("http", "response_bytes")
+      .add(resp.body_size > 0 ? resp.body_size : kHeaderBytes);
   if (resp.body_size > 0) {
     FlowSpec fs;
     fs.src = server.node;

@@ -1,0 +1,29 @@
+#include "obs/event.h"
+
+#include <algorithm>
+
+namespace vcmr::obs {
+
+EventBus& EventBus::instance() {
+  static EventBus bus;
+  return bus;
+}
+
+EventBus::Token EventBus::subscribe(Handler handler) {
+  const Token token = next_token_++;
+  handlers_.emplace_back(token, std::move(handler));
+  return token;
+}
+
+void EventBus::unsubscribe(Token token) {
+  handlers_.erase(
+      std::remove_if(handlers_.begin(), handlers_.end(),
+                     [token](const auto& h) { return h.first == token; }),
+      handlers_.end());
+}
+
+void EventBus::publish(const Event& ev) const {
+  for (const auto& [token, handler] : handlers_) handler(ev);
+}
+
+}  // namespace vcmr::obs

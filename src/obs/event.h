@@ -1,0 +1,94 @@
+#pragma once
+// vcmr::obs — structured event bus.
+//
+// Discrete, timestamped happenings with an actor and a free-form detail:
+// a client entering backoff, the scheduler resending a lost result, a fault
+// injection firing. Unlike metrics (aggregates), events keep ordering and
+// identity, so exporters can render them as instants on per-actor tracks in
+// the Chrome trace.
+//
+// Pay-for-what-you-touch: with no subscriber, publish() is an empty-vector
+// check and the Event is never even constructed (instrumentation sites call
+// the free publish() helper, which early-outs on !active() before touching
+// any of its string arguments beyond pass-by-reference). Subscribers are
+// installed only by exporter-enabled runs and tests, via
+// ScopedEventSubscription / EventLog so they cannot leak across tests.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vcmr::obs {
+
+struct Event {
+  SimTime at;
+  std::string component;  ///< emitting subsystem, e.g. "scheduler"
+  std::string name;       ///< event kind, e.g. "resend_lost"
+  std::string actor;      ///< timeline it belongs to, e.g. "host3"
+  std::string detail;     ///< free-form payload, e.g. the result name
+};
+
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+  using Token = std::uint64_t;
+
+  static EventBus& instance();
+
+  Token subscribe(Handler handler);
+  void unsubscribe(Token token);
+
+  /// True when at least one subscriber is installed; the publish fast path.
+  bool active() const { return !handlers_.empty(); }
+
+  void publish(const Event& ev) const;
+
+ private:
+  std::vector<std::pair<Token, Handler>> handlers_;
+  Token next_token_ = 1;
+};
+
+/// Instrumentation-site helper: no-op (beyond the active() check) when
+/// nobody is listening.
+inline void publish(SimTime at, const std::string& component,
+                    const std::string& name, const std::string& actor,
+                    const std::string& detail = "") {
+  EventBus& bus = EventBus::instance();
+  if (!bus.active()) return;
+  bus.publish(Event{at, component, name, actor, detail});
+}
+
+/// RAII subscription: unsubscribes on scope exit.
+class ScopedEventSubscription {
+ public:
+  explicit ScopedEventSubscription(EventBus::Handler handler)
+      : token_(EventBus::instance().subscribe(std::move(handler))) {}
+  ~ScopedEventSubscription() { EventBus::instance().unsubscribe(token_); }
+
+  ScopedEventSubscription(const ScopedEventSubscription&) = delete;
+  ScopedEventSubscription& operator=(const ScopedEventSubscription&) = delete;
+
+ private:
+  EventBus::Token token_;
+};
+
+/// Buffers every published event for the lifetime of the object; the
+/// trace exporter drains it to render obs events alongside sim spans.
+class EventLog {
+ public:
+  EventLog()
+      : sub_([this](const Event& ev) { events_.push_back(ev); }) {}
+
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  // Declared before sub_ so the subscription is torn down first.
+  std::vector<Event> events_;
+  ScopedEventSubscription sub_;
+};
+
+}  // namespace vcmr::obs

@@ -1,0 +1,33 @@
+#pragma once
+// vcmr::obs — exporters.
+//
+// Two render targets for a finished run's telemetry:
+//
+//  * metrics_json: the full MetricsRegistry as one JSON object with
+//    "counters" / "gauges" / "histograms" arrays — the machine-readable
+//    run summary behind `vcmr_run --metrics-json`.
+//
+//  * chrome_trace_json: the sim TraceRecorder's spans and points, plus any
+//    buffered obs events, in Chrome trace-event ("Trace Event Format")
+//    JSON — load into chrome://tracing or Perfetto. One track (tid) per
+//    actor in first-seen order; spans become "ph":"X" complete events
+//    (ts/dur in microseconds), points and obs events become "ph":"i"
+//    instants.
+//
+// Both return strings; callers own file I/O.
+
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "sim/trace.h"
+
+namespace vcmr::obs {
+
+std::string metrics_json(const MetricsRegistry& registry);
+
+std::string chrome_trace_json(const sim::TraceRecorder& trace,
+                              const std::vector<Event>& events = {});
+
+}  // namespace vcmr::obs

@@ -1,0 +1,85 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vcmr::obs {
+
+namespace {
+Labels normalized(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1, 0) {
+  require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+              std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                  bounds_.end(),
+          "Histogram: bounds must be strictly increasing");
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+MetricsRegistry*& MetricsRegistry::current() {
+  static MetricsRegistry root;
+  static MetricsRegistry* cur = &root;
+  return cur;
+}
+
+MetricsRegistry& MetricsRegistry::instance() { return *current(); }
+
+Counter& MetricsRegistry::counter(const std::string& component,
+                                  const std::string& name, Labels labels) {
+  return counters_[MetricKey{component, name, normalized(std::move(labels))}];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& component,
+                              const std::string& name, Labels labels) {
+  return gauges_[MetricKey{component, name, normalized(std::move(labels))}];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& component,
+                                      const std::string& name,
+                                      std::vector<double> bounds,
+                                      Labels labels) {
+  MetricKey key{component, name, normalized(std::move(labels))};
+  const auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::move(key), Histogram(std::move(bounds)))
+      .first->second;
+}
+
+std::int64_t MetricsRegistry::counter_total(const std::string& component,
+                                            const std::string& name) const {
+  std::int64_t total = 0;
+  for (const auto& [key, c] : counters_) {
+    if (key.component == component && key.name == name) total += c.value();
+  }
+  return total;
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry()
+    : prev_(MetricsRegistry::current()) {
+  MetricsRegistry::current() = &mine_;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  MetricsRegistry::current() = prev_;
+}
+
+}  // namespace vcmr::obs

@@ -4,11 +4,13 @@
 
 namespace vcmr::server {
 
-void Feeder::refill() {
+int Feeder::refill() {
   // Evict entries whose state changed under us (assigned, aborted, ...).
+  const std::size_t before = cache_.size();
   std::erase_if(cache_, [this](ResultId id) {
     return db_.result(id).server_state != db::ServerState::kUnsent;
   });
+  int touched = static_cast<int>(before - cache_.size());
   const auto audit = [this](ResultId id) {
     return db_.workunit(db_.result(id).wu).audit;
   };
@@ -21,6 +23,7 @@ void Feeder::refill() {
       if (cache_.size() >= capacity()) break;
       if (std::find(cache_.begin(), cache_.end(), id) == cache_.end()) {
         cache_.push_back(id);
+        ++touched;
       }
     }
   }
@@ -28,6 +31,7 @@ void Feeder::refill() {
   // within it. A stable pass keeps id order otherwise — with no audit work
   // this is a no-op and dispatch order is unchanged.
   std::stable_partition(cache_.begin(), cache_.end(), audit);
+  return touched;
 }
 
 void Feeder::remove(ResultId id) {

@@ -17,8 +17,9 @@ class Feeder {
       : db_(db), cache_size_(cache_size) {}
 
   /// One feeder pass: drop entries that are no longer unsent, then top the
-  /// cache up from the database in result-id order.
-  void refill();
+  /// cache up from the database in result-id order. Returns the number of
+  /// cache rows touched (evicted + added), for daemon telemetry.
+  int refill();
 
   const std::vector<ResultId>& cache() const { return cache_; }
 

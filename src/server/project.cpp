@@ -1,6 +1,31 @@
 #include "server/project.h"
 
+#include <string>
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+
 namespace vcmr::server {
+
+namespace {
+
+/// Telemetry for one daemon wakeup: pass count, rows-touched counter and
+/// per-pass distribution, plus an event when the pass did real work.
+void note_daemon_pass(sim::Simulation& sim, const char* daemon,
+                      std::int64_t rows) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("daemon", "passes", {{"daemon", daemon}}).add();
+  reg.counter("daemon", "rows_touched", {{"daemon", daemon}}).add(rows);
+  reg.histogram("daemon", "rows_per_pass", {0, 1, 2, 4, 8, 16, 32, 64},
+                {{"daemon", daemon}})
+      .observe(static_cast<double>(rows));
+  if (rows > 0) {
+    obs::publish(sim.now(), "daemon", daemon, "server",
+                 "rows=" + std::to_string(rows));
+  }
+}
+
+}  // namespace
 
 Project::Project(sim::Simulation& sim, net::HttpService& http,
                  NodeId server_node, ProjectConfig cfg)
@@ -33,13 +58,33 @@ Project::Project(sim::Simulation& sim, net::HttpService& http,
 }
 
 void Project::start() {
-  feeder_daemon_.start(cfg_.feeder_period, [this] { feeder_.refill(); });
-  transitioner_daemon_.start(cfg_.transitioner_period,
-                             [this] { transitioner_.pass(sim_.now()); });
-  validator_daemon_.start(cfg_.validator_period,
-                          [this] { validator_.pass(sim_.now()); });
-  assimilator_daemon_.start(cfg_.assimilator_period,
-                            [this] { assimilator_.pass(); });
+  feeder_daemon_.start(cfg_.feeder_period, [this] {
+    note_daemon_pass(sim_, "feeder", feeder_.refill());
+  });
+  transitioner_daemon_.start(cfg_.transitioner_period, [this] {
+    const auto& s = transitioner_.stats();
+    const std::int64_t before = s.results_created + s.results_timed_out +
+                                s.results_aborted + s.wus_errored;
+    transitioner_.pass(sim_.now());
+    const std::int64_t after = s.results_created + s.results_timed_out +
+                               s.results_aborted + s.wus_errored;
+    note_daemon_pass(sim_, "transitioner", after - before);
+  });
+  validator_daemon_.start(cfg_.validator_period, [this] {
+    const auto& s = validator_.stats();
+    const std::int64_t before = s.results_valid + s.results_invalid +
+                                s.inconclusive_checks;
+    validator_.pass(sim_.now());
+    const std::int64_t after = s.results_valid + s.results_invalid +
+                               s.inconclusive_checks;
+    note_daemon_pass(sim_, "validator", after - before);
+  });
+  assimilator_daemon_.start(cfg_.assimilator_period, [this] {
+    const std::int64_t before = assimilator_.assimilated();
+    assimilator_.pass();
+    note_daemon_pass(sim_, "assimilator",
+                     assimilator_.assimilated() - before);
+  });
 }
 
 void Project::stop() {

@@ -4,11 +4,17 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
 
 namespace vcmr::server {
 
 namespace {
 common::Logger log_("scheduler");
+
+obs::Counter& sched_counter(const char* name) {
+  return obs::MetricsRegistry::instance().counter("scheduler", name);
+}
 }
 
 Scheduler::Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
@@ -27,6 +33,7 @@ Scheduler::Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
                            net::HttpRespondFn respond) {
     // Parse off the wire, then model the CGI's processing time before the
     // reply is produced.
+    sched_counter("wire_bytes_in").add(static_cast<std::int64_t>(req.body.size()));
     proto::SchedulerRequest parsed = proto::request_from_xml(req.body);
     sim_.after(cfg_.rpc_service_time,
                [this, parsed = std::move(parsed),
@@ -35,6 +42,7 @@ Scheduler::Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
                  net::HttpResponse resp;
                  resp.body = proto::to_xml(reply);
                  resp.body_size = static_cast<Bytes>(resp.body.size());
+                 sched_counter("wire_bytes_out").add(resp.body_size);
                  respond(std::move(resp));
                });
   });
@@ -44,6 +52,7 @@ Scheduler::~Scheduler() { http_.stop_listening(ep_); }
 
 proto::SchedulerReply Scheduler::process(const proto::SchedulerRequest& req) {
   ++stats_.rpcs;
+  sched_counter("rpcs").add();
   const HostId host{req.host_id};
 
   if (cfg_.peer_input_distribution) note_cached_files(host, req.cached_files);
@@ -66,7 +75,12 @@ proto::SchedulerReply Scheduler::process(const proto::SchedulerRequest& req) {
   if (req.work_request_seconds > 0) {
     assign_work(req, reply);
     reply.had_work = !reply.tasks.empty();
-    if (!reply.had_work) ++stats_.empty_replies;
+    if (!reply.had_work) {
+      ++stats_.empty_replies;
+      sched_counter("empty_replies").add();
+    }
+    sched_counter("results_dispatched")
+        .add(static_cast<std::int64_t>(reply.tasks.size()));
   }
 
   // Pipelined reduce (E5): stream newly validated mapper locations to
@@ -132,18 +146,21 @@ void Scheduler::note_cached_files(HostId host,
 
 void Scheduler::handle_report(HostId host, const proto::ReportedResult& rep) {
   ++stats_.reports;
+  sched_counter("reports").add();
   const ResultId rid{rep.result_id};
   db::ResultRecord* r = nullptr;
   try {
     r = &db_.result(rid);
   } catch (const Error&) {
     ++stats_.late_reports;
+    sched_counter("late_reports").add();
     return;
   }
   if (r->server_state != db::ServerState::kInProgress || r->host != host) {
     // Late, duplicate, or post-timeout report: BOINC marks these "too
     // late"; the work was already rescheduled elsewhere.
     ++stats_.late_reports;
+    sched_counter("late_reports").add();
     return;
   }
 
@@ -189,6 +206,8 @@ void Scheduler::reconcile_known_results(
     r.server_state = db::ServerState::kOver;
     r.outcome = db::Outcome::kLost;
     ++stats_.results_lost;
+    sched_counter("results_lost").add();
+    obs::publish(sim_.now(), "scheduler", "resend_lost", "scheduler", r.name);
     if (policy_) policy_->store().record_error(host);
     db_.flag_transition(r.wu);
     if (trace_) trace_->point(sim_.now(), "scheduler", "resend_lost", r.name);
@@ -200,10 +219,15 @@ void Scheduler::reconcile_known_results(
 void Scheduler::handle_fetch_failure(HostId reporter,
                                      const proto::FetchFailureReport& ff) {
   ++stats_.fetch_failures_reported;
+  sched_counter("fetch_failures_reported").add();
   const auto action = jobtracker_.note_fetch_failure(
       MrJobId{ff.job_id}, ff.map_index, HostId{ff.holder_host});
   if (action == JobTracker::FetchFailureAction::kInvalidated) {
     ++stats_.maps_invalidated;
+    sched_counter("maps_invalidated").add();
+    obs::publish(sim_.now(), "scheduler", "map_invalidated", "scheduler",
+                 "job" + std::to_string(ff.job_id) + "/map" +
+                     std::to_string(ff.map_index));
     if (trace_) {
       trace_->point(sim_.now(), "scheduler", "map_invalidated",
                     "job" + std::to_string(ff.job_id) + "/map" +
@@ -301,9 +325,11 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
       const Bytes my_bytes = mine == held.end() ? 0 : mine->second;
       if (best > 0 && my_bytes >= best) {
         ++stats_.locality_hits;
+        sched_counter("locality_hits").add();
       } else if (locality_skips_[rid] < cfg_.locality_max_skips) {
         ++locality_skips_[rid];
         ++stats_.locality_skips;
+        sched_counter("locality_skips").add();
         continue;
       }
     }
@@ -348,10 +374,12 @@ bool Scheduler::apply_trust_policy(const db::ResultRecord& r,
     if (trust_skips_[r.id] < cfg_.reputation.trust_max_skips) {
       ++trust_skips_[r.id];
       ++stats_.trust_skips;
+      sched_counter("trust_skips").add();
       return false;
     }
     escalate();
     ++stats_.trust_escalations;
+    sched_counter("trust_escalations").add();
     if (trace_) {
       trace_->point(sim_.now(), "scheduler", "trust_escalate", r.name);
     }
@@ -363,10 +391,12 @@ bool Scheduler::apply_trust_policy(const db::ResultRecord& r,
       escalate();
       wu.audit = true;  // feeder fast-tracks the check replicas
       ++stats_.spot_checks;
+      sched_counter("spot_checks").add();
       if (trace_) trace_->point(sim_.now(), "scheduler", "spot_check", r.name);
       break;
     case rep::AssignmentDecision::kSingle:
       ++stats_.trusted_singles;
+      sched_counter("trusted_singles").add();
       if (trace_) {
         trace_->point(sim_.now(), "scheduler", "trust_single", r.name);
       }

@@ -182,13 +182,12 @@ TEST(Histogram, AsciiRendersAllBuckets) {
 }
 
 TEST(Logging, CaptureSinkReceivesRecords) {
-  using common::LogConfig;
   using common::LogLevel;
   using common::LogRecord;
   std::vector<LogRecord> captured;
-  LogConfig::instance().set_sink(
+  common::ScopedLogSink sink(
       [&](const LogRecord& rec) { captured.push_back(rec); });
-  LogConfig::instance().set_level(LogLevel::kDebug);
+  common::ScopedLogLevel level(LogLevel::kDebug);
 
   common::Logger log("testcomp");
   log.info("value=", 42, " name=", "x");
@@ -199,41 +198,54 @@ TEST(Logging, CaptureSinkReceivesRecords) {
   EXPECT_EQ(captured[0].message, "value=42 name=x");
   EXPECT_EQ(captured[0].level, LogLevel::kInfo);
   EXPECT_EQ(captured[1].level, LogLevel::kWarn);
-
-  LogConfig::instance().reset_sink();
-  LogConfig::instance().set_level(LogLevel::kInfo);
 }
 
 TEST(Logging, LevelFiltersRecords) {
-  using common::LogConfig;
   using common::LogLevel;
   int count = 0;
-  LogConfig::instance().set_sink([&](const common::LogRecord&) { ++count; });
-  LogConfig::instance().set_level(LogLevel::kError);
+  common::ScopedLogSink sink([&](const common::LogRecord&) { ++count; });
+  common::ScopedLogLevel level(LogLevel::kError);
   common::Logger log("c");
   log.debug("no");
   log.info("no");
   log.warn("no");
   log.error("yes");
   EXPECT_EQ(count, 1);
-  LogConfig::instance().reset_sink();
-  LogConfig::instance().set_level(LogLevel::kInfo);
 }
 
 TEST(Logging, SimTimeStampsWhenProviderAttached) {
-  using common::LogConfig;
   common::LogRecord last;
-  LogConfig::instance().set_sink(
+  common::ScopedLogSink sink(
       [&](const common::LogRecord& rec) { last = rec; });
-  LogConfig::instance().set_time_provider([] { return SimTime::seconds(7); });
+  {
+    common::ScopedTimeProvider provider([] { return SimTime::seconds(7); });
+    common::Logger log("c");
+    log.info("x");
+    EXPECT_TRUE(last.has_sim_time);
+    EXPECT_EQ(last.sim_time, SimTime::seconds(7));
+  }
+  // The guard restored the previous (absent) provider on scope exit.
   common::Logger log("c");
-  log.info("x");
-  EXPECT_TRUE(last.has_sim_time);
-  EXPECT_EQ(last.sim_time, SimTime::seconds(7));
-  LogConfig::instance().clear_time_provider();
   log.info("y");
   EXPECT_FALSE(last.has_sim_time);
-  LogConfig::instance().reset_sink();
+}
+
+TEST(Logging, ScopedGuardsRestorePreviousState) {
+  using common::LogConfig;
+  int outer = 0;
+  common::ScopedLogSink outer_sink(
+      [&](const common::LogRecord&) { ++outer; });
+  {
+    int inner = 0;
+    common::ScopedLogSink inner_sink(
+        [&](const common::LogRecord&) { ++inner; });
+    common::Logger("c").info("inner only");
+    EXPECT_EQ(inner, 1);
+    EXPECT_EQ(outer, 0);
+  }
+  common::Logger("c").info("outer again");
+  EXPECT_EQ(outer, 1);
+  EXPECT_EQ(LogConfig::instance().level(), common::LogLevel::kInfo);
 }
 
 TEST(SimTime, StringRendering) {

@@ -1,0 +1,500 @@
+// Tests for the vcmr::obs telemetry subsystem: the shared JSON writer, the
+// metrics registry, the event bus, both exporters, and the end-to-end
+// guarantees the subsystem makes — per-host backoff accounting that exposes
+// the Fig. 4 straggler, and zero perturbation of simulation outcomes when
+// telemetry is merely collected.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "core/cluster.h"
+#include "obs/event.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "sim/trace.h"
+
+namespace vcmr {
+namespace {
+
+using common::JsonWriter;
+using obs::EventLog;
+using obs::MetricsRegistry;
+using obs::ScopedMetricsRegistry;
+
+// --- minimal JSON validator ------------------------------------------------
+// Recursive-descent syntax check, enough to catch malformed exporter output
+// (unbalanced braces, bad escapes, trailing commas) without a JSON library.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    ws();
+    if (peek('}')) { ++pos_; return true; }
+    while (true) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (!peek(':')) return false;
+      ++pos_;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek(',')) { ++pos_; continue; }
+      if (peek('}')) { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    ws();
+    if (peek(']')) { ++pos_; return true; }
+    while (true) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek(',')) { ++pos_; continue; }
+      if (peek(']')) { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (!peek('"')) return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek('-')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool peek(char c) const { return pos_ < s_.size() && s_[pos_] == c; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- JsonWriter (satellite 1: the hoisted bench JSON path) -----------------
+
+TEST(JsonWriter, FormatMatchesHistoricalBenchRows) {
+  // Byte-for-byte pin of the format bench_*.cpp rows have always used; the
+  // JsonRow alias in bench_util.h routes through this class.
+  JsonWriter w;
+  w.field("experiment", "E2")
+      .field("seed", static_cast<std::int64_t>(3))
+      .field("ratio", 0.5)
+      .field("ok", true);
+  EXPECT_EQ(w.str(),
+            "{\"experiment\": \"E2\", \"seed\": 3, \"ratio\": 0.5, "
+            "\"ok\": true}");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlChars) {
+  JsonWriter w;
+  w.field("k", std::string("a\"b\\c\nd"));
+  EXPECT_EQ(w.str(), "{\"k\": \"a\\\"b\\\\c\\u000ad\"}");
+  EXPECT_TRUE(JsonChecker(w.str()).valid());
+}
+
+TEST(JsonWriter, FieldJsonEmbedsRawValues) {
+  JsonWriter w;
+  w.field("n", 1).field_json("nested", "{\"x\": [1, 2]}");
+  EXPECT_EQ(w.str(), "{\"n\": 1, \"nested\": {\"x\": [1, 2]}}");
+  EXPECT_TRUE(JsonChecker(w.str()).valid());
+}
+
+TEST(JsonWriter, DoublesUseSixSignificantDigits) {
+  JsonWriter w;
+  w.field("v", 205.092772);
+  EXPECT_EQ(w.str(), "{\"v\": 205.093}");
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(Metrics, CountersAccumulate) {
+  ScopedMetricsRegistry scope;
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("c", "hits").add();
+  reg.counter("c", "hits").add(4);
+  EXPECT_EQ(reg.counter("c", "hits").value(), 5);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(Metrics, LabelOrderDoesNotSplitMetrics) {
+  ScopedMetricsRegistry scope;
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("c", "n", {{"a", "1"}, {"b", "2"}}).add();
+  reg.counter("c", "n", {{"b", "2"}, {"a", "1"}}).add();
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.counter_total("c", "n"), 2);
+}
+
+TEST(Metrics, CounterTotalSumsAcrossLabelSets) {
+  ScopedMetricsRegistry scope;
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("client", "rpcs", {{"host", "host1"}}).add(3);
+  reg.counter("client", "rpcs", {{"host", "host2"}}).add(4);
+  reg.counter("client", "other").add(100);
+  EXPECT_EQ(reg.counter_total("client", "rpcs"), 7);
+  EXPECT_EQ(reg.counter_total("client", "absent"), 0);
+}
+
+TEST(Metrics, HistogramBucketsObservations) {
+  ScopedMetricsRegistry scope;
+  auto& h = MetricsRegistry::instance().histogram("c", "lat", {10, 100});
+  h.observe(5);     // <= 10
+  h.observe(10);    // boundary counts in the first bucket
+  h.observe(50);    // <= 100
+  h.observe(1000);  // overflow
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 2);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[2], 1);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 1065.0);
+}
+
+TEST(Metrics, HistogramBoundsFixedAtFirstRegistration) {
+  ScopedMetricsRegistry scope;
+  auto& reg = MetricsRegistry::instance();
+  auto& h1 = reg.histogram("c", "lat", {1, 2});
+  auto& h2 = reg.histogram("c", "lat", {5, 6, 7});  // ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.bounds(), (std::vector<double>{1, 2}));
+}
+
+TEST(Metrics, RejectsUnsortedHistogramBounds) {
+  ScopedMetricsRegistry scope;
+  EXPECT_THROW(
+      MetricsRegistry::instance().histogram("c", "bad", {5, 1}), Error);
+}
+
+TEST(Metrics, ScopedRegistryIsolatesAndRestores) {
+  auto& outer = MetricsRegistry::instance();
+  const std::int64_t outer_before = outer.counter_total("t", "x");
+  {
+    ScopedMetricsRegistry scope;
+    EXPECT_NE(&MetricsRegistry::instance(), &outer);
+    MetricsRegistry::instance().counter("t", "x").add(42);
+    EXPECT_EQ(MetricsRegistry::instance().counter_total("t", "x"), 42);
+  }
+  EXPECT_EQ(&MetricsRegistry::instance(), &outer);
+  EXPECT_EQ(outer.counter_total("t", "x"), outer_before);
+}
+
+// --- EventBus --------------------------------------------------------------
+
+TEST(Events, InactiveBusIsSilentAndCheap) {
+  EXPECT_FALSE(obs::EventBus::instance().active());
+  // No subscriber: the helper early-outs; nothing observable happens.
+  obs::publish(SimTime::seconds(1), "c", "n", "a");
+}
+
+TEST(Events, EventLogBuffersPublishedEvents) {
+  EventLog log;
+  EXPECT_TRUE(obs::EventBus::instance().active());
+  obs::publish(SimTime::seconds(1), "scheduler", "resend_lost", "scheduler",
+               "wu0_r1");
+  obs::publish(SimTime::seconds(2), "client", "backoff", "host3");
+  ASSERT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.events()[0].name, "resend_lost");
+  EXPECT_EQ(log.events()[1].actor, "host3");
+  EXPECT_EQ(log.events()[1].detail, "");
+}
+
+TEST(Events, SubscriptionEndsWithScope) {
+  {
+    EventLog log;
+    EXPECT_TRUE(obs::EventBus::instance().active());
+  }
+  EXPECT_FALSE(obs::EventBus::instance().active());
+}
+
+TEST(Events, MultipleSubscribersEachReceive) {
+  EventLog a;
+  EventLog b;
+  obs::publish(SimTime::zero(), "c", "n", "x");
+  EXPECT_EQ(a.events().size(), 1u);
+  EXPECT_EQ(b.events().size(), 1u);
+}
+
+// --- exporters -------------------------------------------------------------
+
+TEST(Export, MetricsJsonIsValidAndComplete) {
+  ScopedMetricsRegistry scope;
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("scheduler", "rpcs").add(34);
+  reg.gauge("job", "total_seconds", {{"job", "1"}}).set(205.093);
+  reg.histogram("client", "backoff_seconds", {30, 60}, {{"host", "host1"}})
+      .observe(45);
+
+  const std::string json = obs::metrics_json(reg);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpcs\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 34"), std::string::npos);
+  EXPECT_NE(json.find("\"host\": \"host1\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [0, 1, 0]"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceRendersSpansPointsAndEvents) {
+  sim::TraceRecorder tr;
+  const std::size_t tok =
+      tr.begin_span(SimTime::seconds(1), "host1", "compute", "r0");
+  tr.end_span(tok, SimTime::seconds(3));
+  tr.point(SimTime::seconds(2), "host2", "report");
+
+  std::vector<obs::Event> events;
+  events.push_back({SimTime::seconds(4), "scheduler", "resend_lost",
+                    "scheduler", "wu0_r1"});
+
+  const std::string json = obs::chrome_trace_json(tr, events);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Complete span: ph X with micro ts/dur.
+  EXPECT_NE(json.find("\"ph\": \"X\", \"ts\": 1000000, \"dur\": 2000000"),
+            std::string::npos);
+  // Instants carry the scope flag chrome://tracing requires.
+  EXPECT_NE(json.find("\"ph\": \"i\", \"s\": \"t\""), std::string::npos);
+  // Per-actor thread naming, first-seen order: host1=0, host2=1, then the
+  // event-only actor "scheduler" gets the next tid.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"host1\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"resend_lost\""), std::string::npos);
+  EXPECT_NE(json.find("\"component\": \"scheduler\""), std::string::npos);
+}
+
+TEST(Export, ChromeTraceDropsUnclosedSpans) {
+  sim::TraceRecorder tr;
+  tr.begin_span(SimTime::seconds(1), "host1", "compute");  // never closed
+  const std::string json = obs::chrome_trace_json(tr);
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(Export, ChromeTraceEventsSortedByTimestamp) {
+  sim::TraceRecorder tr;
+  tr.point(SimTime::seconds(9), "a", "late");
+  tr.point(SimTime::seconds(1), "b", "early");
+  const std::string json = obs::chrome_trace_json(tr);
+  EXPECT_LT(json.find("\"early\""), json.find("\"late\""));
+}
+
+// --- end-to-end ------------------------------------------------------------
+
+core::Scenario fig4_scenario(std::uint64_t seed = 3) {
+  // The Fig. 4 experiment (bench_fig4_timeline): 15 plain-BOINC nodes, one
+  // map WU per node replicated twice, 1 GB input. One node's report gets
+  // stuck behind the exponential backoff and dominates the map-phase tail.
+  core::Scenario s;
+  s.seed = seed;
+  s.n_nodes = 15;
+  s.n_maps = 15;
+  s.n_reducers = 3;
+  s.input_size = 1000LL * 1000 * 1000;
+  s.boinc_mr = false;
+  s.record_trace = true;
+  return s;
+}
+
+TEST(ObsIntegration, Fig4StragglerDominatesBackoffHistogram) {
+  ScopedMetricsRegistry scope;
+  EventLog log;
+  // Seed 36 is a stark instance of the pathology: the straggler's report is
+  // held back ~236 s by a single backoff draw, roughly double the worst
+  // report delay of any other host.
+  core::Cluster cluster(fig4_scenario(36));
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+
+  // Identify the straggler exactly as bench_fig4_timeline does: the host
+  // whose upload→report gap is largest.
+  std::map<std::string, double> uploaded_at;
+  for (const auto& p : cluster.trace().points()) {
+    if (p.label == "uploaded") uploaded_at[p.detail] = p.at.as_seconds();
+  }
+  double max_delay = 0;
+  double straggler_upload = 0;
+  double straggler_report = 0;
+  std::string straggler;
+  std::map<std::string, double> host_delay;  // worst upload→report gap each
+  for (const auto& t : out.metrics.map_tasks) {
+    const auto it = uploaded_at.find(t.result_name);
+    const double up =
+        it != uploaded_at.end() ? it->second : t.received_seconds;
+    const double delay = t.received_seconds - up;
+    host_delay[t.host_name] = std::max(host_delay[t.host_name], delay);
+    if (delay > max_delay) {
+      max_delay = delay;
+      straggler = t.host_name;
+      straggler_upload = up;
+      straggler_report = t.received_seconds;
+    }
+  }
+  ASSERT_FALSE(straggler.empty());
+  EXPECT_GT(max_delay, 180.0);  // the pathology is present at this seed
+
+  // The telemetry exposes the cause, not just the symptom: the straggler's
+  // result sat finished while a backoff drawn *before* the upload completed
+  // kept the client away from the scheduler.  Backoff events carry
+  // "<why> <seconds>" details, so we can find the draw whose window
+  // [t, t + delay] covers the whole upload→report gap.
+  double covering_draw = 0;
+  for (const auto& ev : log.events()) {
+    if (ev.component != "client" || ev.name != "backoff") continue;
+    if (ev.actor != straggler) continue;
+    const std::size_t sp = ev.detail.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << ev.detail;
+    const double t = ev.at.as_seconds();
+    const double d = std::stod(ev.detail.substr(sp + 1));
+    if (t <= straggler_upload && t + d >= straggler_report - 0.5) {
+      covering_draw = std::max(covering_draw, d);
+    }
+  }
+  // One recorded draw explains the entire report delay...
+  EXPECT_GE(covering_draw, max_delay);
+  // ...and it visibly dominates: that single draw is at least 1.5x the
+  // *total* report delay of every other host in the run.
+  for (const auto& [host, delay] : host_delay) {
+    if (host == straggler) continue;
+    EXPECT_GT(covering_draw, 1.5 * delay) << host;
+  }
+
+  // The per-host histograms saw every one of those draws too: the
+  // straggler's histogram contains the long (> 120 s) covering draw and
+  // its total accounts for at least that much backoff.
+  const auto& reg = MetricsRegistry::instance();
+  bool found_straggler_hist = false;
+  for (const auto& [key, h] : reg.histograms()) {
+    if (key.component != "client" || key.name != "backoff_seconds") continue;
+    ASSERT_EQ(key.labels.size(), 1u);
+    if (key.labels[0].second != straggler) continue;
+    found_straggler_hist = true;
+    const auto& buckets = h.buckets();  // bounds {30,60,120,240,480,600}
+    std::int64_t long_draws = 0;
+    for (std::size_t i = 3; i < buckets.size(); ++i) long_draws += buckets[i];
+    EXPECT_GT(long_draws, 0);
+    EXPECT_GE(h.sum() + 1e-6, covering_draw);
+  }
+  EXPECT_TRUE(found_straggler_hist);
+
+  // Protocol accounting matches the authoritative scheduler stats, and the
+  // wire-byte counters saw real traffic in both directions.
+  EXPECT_EQ(reg.counter_total("scheduler", "rpcs"), out.scheduler_rpcs);
+  EXPECT_GT(reg.counter_total("scheduler", "wire_bytes_in"), 0);
+  EXPECT_GT(reg.counter_total("scheduler", "wire_bytes_out"), 0);
+}
+
+TEST(ObsIntegration, CollectingTelemetryDoesNotPerturbTheRun) {
+  core::Scenario s = fig4_scenario();
+  s.record_trace = false;
+
+  double base_total = 0;
+  Bytes base_sent = 0;
+  std::int64_t base_rpcs = 0;
+  {
+    ScopedMetricsRegistry scope;
+    core::Cluster cluster(s);
+    const core::RunOutcome out = cluster.run_job();
+    base_total = out.metrics.total_seconds;
+    base_sent = out.server_bytes_sent;
+    base_rpcs = out.scheduler_rpcs;
+  }
+  {
+    // Same scenario with an event subscriber attached: identical outcome.
+    ScopedMetricsRegistry scope;
+    EventLog log;
+    core::Cluster cluster(s);
+    const core::RunOutcome out = cluster.run_job();
+    EXPECT_EQ(out.metrics.total_seconds, base_total);
+    EXPECT_EQ(out.server_bytes_sent, base_sent);
+    EXPECT_EQ(out.scheduler_rpcs, base_rpcs);
+    EXPECT_FALSE(log.events().empty());
+  }
+}
+
+TEST(ObsIntegration, MetricsJsonFromRealRunIsValid) {
+  ScopedMetricsRegistry scope;
+  core::Scenario s = fig4_scenario();
+  core::Cluster cluster(s);
+  (void)cluster.run_job();
+  const std::string json =
+      obs::metrics_json(MetricsRegistry::instance());
+  EXPECT_TRUE(JsonChecker(json).valid());
+  const std::string trace_json = obs::chrome_trace_json(cluster.trace());
+  EXPECT_TRUE(JsonChecker(trace_json).valid());
+}
+
+}  // namespace
+}  // namespace vcmr

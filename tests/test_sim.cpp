@@ -212,6 +212,49 @@ TEST(Trace, GanttRendersRowsPerActor) {
   EXPECT_NE(art.find('!'), std::string::npos);
 }
 
+TEST(Trace, GanttClipsSpansToWindow) {
+  TraceRecorder tr;
+  // Begins before the window and ends after it: every cell is covered, and
+  // clamping keeps the out-of-window portions from writing out of bounds.
+  const std::size_t t =
+      tr.begin_span(SimTime::seconds(-5), "host1", "compute");
+  tr.end_span(t, SimTime::seconds(100));
+  tr.point(SimTime::seconds(999), "host1", "report");  // clamps to last cell
+  const std::string art =
+      tr.ascii_gantt(SimTime::zero(), SimTime::seconds(10), 10);
+  const std::size_t bar = art.find("|");
+  ASSERT_NE(bar, std::string::npos);
+  const std::string row = art.substr(bar + 1, 10);
+  EXPECT_EQ(row, "CCCCCCCCC!");  // full coverage; far point on the edge
+}
+
+TEST(Trace, GanttOmitsUnclosedSpans) {
+  TraceRecorder tr;
+  tr.begin_span(SimTime::seconds(1), "host1", "xyzspan");  // never closed
+  const std::string art =
+      tr.ascii_gantt(SimTime::zero(), SimTime::seconds(10), 10);
+  // The actor row renders (first-seen), but the open span paints nothing:
+  // its 'X' mark never appears and the row stays idle dots.
+  EXPECT_NE(art.find("host1"), std::string::npos);
+  EXPECT_EQ(art.find('X'), std::string::npos);
+  EXPECT_NE(art.find("|..........|"), std::string::npos);
+}
+
+TEST(Trace, GanttRowsFollowFirstSeenActorOrder) {
+  TraceRecorder tr;
+  tr.point(SimTime::seconds(1), "zeta", "x");
+  tr.point(SimTime::seconds(2), "alpha", "x");
+  const std::string art =
+      tr.ascii_gantt(SimTime::zero(), SimTime::seconds(10), 10);
+  EXPECT_LT(art.find("zeta"), art.find("alpha"));
+}
+
+TEST(Trace, GanttEmptyWindowThrows) {
+  TraceRecorder tr;
+  EXPECT_THROW(
+      tr.ascii_gantt(SimTime::seconds(5), SimTime::seconds(5), 10), Error);
+}
+
 TEST(Trace, ClearResets) {
   TraceRecorder tr;
   tr.point(SimTime::zero(), "a", "x");

@@ -3,20 +3,31 @@
 //   vcmr_run scenario.xml                 run it, print the metrics report
 //   vcmr_run scenario.xml --snapshot p    ...and write the post-run project
 //                                         database (XML) to p
+//   vcmr_run scenario.xml --metrics-json p  ...and write the full telemetry
+//                                           registry (JSON) to p
+//   vcmr_run scenario.xml --trace-out p   ...and write a Chrome trace-event
+//                                         JSON timeline to p (implies
+//                                         record_trace)
 //   vcmr_run --template                   print a fully populated scenario.xml
 //   vcmr_run --echo scenario.xml          parse and print the normalized form
+//   vcmr_run --help                       print usage and the exit contract
 //
 // Exit status: 0 on job completion, 2 on job failure/timeout, 1 on usage
 // or parse errors.
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "core/cluster.h"
 #include "core/scenario_io.h"
+#include "obs/event.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -28,12 +39,44 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw vcmr::Error(std::string("cannot write ") + path);
+  out << content;
+}
+
+void print_usage(std::FILE* to) {
+  std::fputs(
+      "usage: vcmr_run <scenario.xml> [--snapshot <db.xml>]\n"
+      "                [--metrics-json <out.json>] [--trace-out <out.json>]\n"
+      "       vcmr_run --template\n"
+      "       vcmr_run --echo <scenario.xml>\n"
+      "       vcmr_run --help\n",
+      to);
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: vcmr_run <scenario.xml> [--snapshot <db.xml>]\n"
-               "       vcmr_run --template\n"
-               "       vcmr_run --echo <scenario.xml>\n");
+  print_usage(stderr);
   return 1;
+}
+
+int help() {
+  print_usage(stdout);
+  std::fputs(
+      "\n"
+      "  --snapshot <db.xml>       write the post-run project database (XML)\n"
+      "  --metrics-json <out>      write the run's telemetry registry as JSON\n"
+      "                            (counters, gauges, histograms + job summary)\n"
+      "  --trace-out <out>         write a Chrome trace-event JSON timeline\n"
+      "                            (chrome://tracing / Perfetto); implies\n"
+      "                            record_trace for this run\n"
+      "\n"
+      "exit status:\n"
+      "  0  job completed\n"
+      "  2  job failed or hit the scenario time limit\n"
+      "  1  usage or scenario-parse error\n",
+      stdout);
+  return 0;
 }
 
 void report(const vcmr::core::RunOutcome& out) {
@@ -62,6 +105,14 @@ void report(const vcmr::core::RunOutcome& out) {
   std::printf("scheduler     : %lld RPCs, %lld client backoffs\n",
               static_cast<long long>(out.scheduler_rpcs),
               static_cast<long long>(out.backoffs));
+  if (out.results_lost > 0 || out.fetch_failures_reported > 0 ||
+      out.maps_invalidated > 0) {
+    std::printf("recovery      : %lld results lost and re-issued, "
+                "%lld fetch failures reported, %lld maps invalidated\n",
+                static_cast<long long>(out.results_lost),
+                static_cast<long long>(out.fetch_failures_reported),
+                static_cast<long long>(out.maps_invalidated));
+  }
   if (out.traversal.attempts > 0) {
     std::printf("traversal     : %lld attempts (%lld direct, %lld reversal, "
                 "%lld punched, %lld relayed, %lld failed)\n",
@@ -87,6 +138,31 @@ void report(const vcmr::core::RunOutcome& out) {
   }
 }
 
+std::string run_metrics_json(const std::string& scenario_path,
+                             const vcmr::core::RunOutcome& out) {
+  using vcmr::common::JsonWriter;
+  JsonWriter job;
+  job.field("completed", out.metrics.completed)
+      .field("failed", out.metrics.failed)
+      .field("hit_time_limit", out.hit_time_limit)
+      .field("total_seconds", out.metrics.total_seconds)
+      .field("server_bytes_sent", out.server_bytes_sent)
+      .field("server_bytes_received", out.server_bytes_received)
+      .field("scheduler_rpcs", out.scheduler_rpcs)
+      .field("backoffs", out.backoffs)
+      .field("results_lost", out.results_lost)
+      .field("fetch_failures_reported", out.fetch_failures_reported)
+      .field("maps_invalidated", out.maps_invalidated);
+
+  JsonWriter top;
+  top.field("scenario", scenario_path)
+      .field_json("outcome", job.str())
+      .field_json("registry",
+                  vcmr::obs::metrics_json(
+                      vcmr::obs::MetricsRegistry::instance()));
+  return top.str() + "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,6 +170,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string arg = argv[1];
   try {
+    if (arg == "--help" || arg == "-h") return help();
     if (arg == "--template") {
       core::Scenario s;
       std::fputs(core::scenario_to_xml(s).c_str(), stdout);
@@ -105,23 +182,51 @@ int main(int argc, char** argv) {
       std::fputs(core::scenario_to_xml(s).c_str(), stdout);
       return 0;
     }
+    if (arg.rfind("--", 0) == 0) return usage();
+
+    std::string snapshot_path, metrics_path, trace_path;
+    for (int i = 2; i < argc; ++i) {
+      const std::string flag = argv[i];
+      std::string* dest = nullptr;
+      if (flag == "--snapshot") dest = &snapshot_path;
+      else if (flag == "--metrics-json") dest = &metrics_path;
+      else if (flag == "--trace-out") dest = &trace_path;
+      if (dest == nullptr || i + 1 >= argc) return usage();
+      *dest = argv[++i];
+    }
 
     common::LogConfig::instance().set_level(common::LogLevel::kWarn);
-    const core::Scenario s = core::scenario_from_xml(read_file(arg));
+    core::Scenario s = core::scenario_from_xml(read_file(arg));
+    if (!trace_path.empty()) s.record_trace = true;
     std::printf("scenario: %d nodes, %d maps, %d reducers, %lld MB, %s "
                 "clients, seed %llu\n\n",
                 s.n_nodes, s.n_maps, s.n_reducers,
                 static_cast<long long>(s.input_size / 1000000),
                 s.boinc_mr ? "BOINC-MR" : "plain BOINC",
                 static_cast<unsigned long long>(s.seed));
+
+    // Subscribe before the cluster exists so arming-time events (e.g. the
+    // fault plan validating) are not missed.
+    std::unique_ptr<obs::EventLog> event_log;
+    if (!trace_path.empty()) event_log = std::make_unique<obs::EventLog>();
+
     core::Cluster cluster(s);
     const core::RunOutcome out = cluster.run_job();
     report(out);
-    if (argc >= 4 && std::string(argv[2]) == "--snapshot") {
-      std::ofstream snap(argv[3]);
-      if (!snap) throw vcmr::Error(std::string("cannot write ") + argv[3]);
-      snap << cluster.project().database().save();
-      std::printf("database snapshot: %s\n", argv[3]);
+
+    if (!snapshot_path.empty()) {
+      write_file(snapshot_path, cluster.project().database().save());
+      std::printf("database snapshot: %s\n", snapshot_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      write_file(metrics_path, run_metrics_json(arg, out));
+      std::printf("metrics json  : %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      write_file(trace_path,
+                 obs::chrome_trace_json(cluster.trace(), event_log->events()) +
+                     "\n");
+      std::printf("chrome trace  : %s\n", trace_path.c_str());
     }
     return out.metrics.completed ? 0 : 2;
   } catch (const std::exception& e) {

@@ -135,6 +135,19 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
   }
 
   if (!scenario_.faults.empty()) {
+    fault::FaultPlan plan = scenario_.faults;
+    if (!plan.trace_file.empty()) {
+      // Replayed availability: compile the trace into timed link faults so
+      // the Injector treats them like any other schedule (tagged, so stats
+      // keep trace churn apart from hand-written faults).
+      auto traced = fault::load_availability_trace_file(plan.trace_file,
+                                                        scenario_.n_nodes);
+      plan.link_faults.insert(plan.link_faults.end(), traced.begin(),
+                              traced.end());
+      plan.trace_file.clear();
+    }
+    if (!plan.server_crashes.empty()) project_->enable_snapshots();
+
     fault::Hooks hooks;
     hooks.set_link = [this](int host, bool up) {
       net_->set_online(clients_[static_cast<std::size_t>(host)]->node(), up);
@@ -154,8 +167,14 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
     hooks.restart_client = [this](int host) {
       clients_[static_cast<std::size_t>(host)]->restart();
     };
+    hooks.set_link_degrade = [this](int host, double factor) {
+      net_->set_link_scale(clients_[static_cast<std::size_t>(host)]->node(),
+                           factor);
+    };
+    hooks.crash_server = [this] { project_->crash_server(); };
+    hooks.restore_server = [this] { project_->restore_server(); };
     injector_ = std::make_unique<fault::Injector>(
-        *sim_, scenario_.faults, std::move(hooks), scenario_.n_nodes,
+        *sim_, std::move(plan), std::move(hooks), scenario_.n_nodes,
         scenario_.record_trace ? &trace_ : nullptr);
     if (injector_->wants_message_loss()) {
       net_->set_message_drop_hook(

@@ -51,6 +51,8 @@ Scenario scenario_from_xml(const std::string& xml) {
     cfg.report_fetch_failures =
         p->child_i64("report_fetch_failures",
                      cfg.report_fetch_failures ? 1 : 0) != 0;
+    cfg.snapshot_period = SimTime::seconds(p->child_double(
+        "snapshot_period_s", cfg.snapshot_period.as_seconds()));
     require(cfg.min_quorum >= 1 && cfg.min_quorum <= cfg.target_nresults,
             "scenario xml: need 1 <= min_quorum <= target_nresults");
   }
@@ -180,6 +182,48 @@ Scenario scenario_from_xml(const std::string& xml) {
       x.restart_at = when(*c, "restart_s");
       s.faults.crashes.push_back(x);
     }
+    for (const XmlNode* g : f->children("group")) {
+      fault::HostGroup x;
+      const std::string* name = g->attr("name");
+      require(name != nullptr && !name->empty(),
+              "scenario xml: <group> needs a name attribute");
+      x.name = *name;
+      for (const std::string& tok :
+           common::split(g->child_text("hosts"), ',')) {
+        std::int64_t v = 0;
+        require(common::parse_i64(common::trim(tok), &v),
+                "scenario xml: bad <group><hosts> list");
+        x.hosts.push_back(static_cast<int>(v));
+      }
+      s.faults.groups.push_back(std::move(x));
+    }
+    for (const XmlNode* gf : f->children("group_fault")) {
+      fault::GroupFault x;
+      x.group = gf->child_text("group");
+      x.down_at = SimTime::seconds(gf->child_double("down_s", 0));
+      x.up_at = when(*gf, "up_s");
+      s.faults.group_faults.push_back(std::move(x));
+    }
+    for (const XmlNode* d : f->children("link_degrade")) {
+      fault::LinkDegrade x;
+      x.host = static_cast<int>(d->child_i64("host", -1));
+      x.factor = d->child_double("factor", x.factor);
+      x.at = SimTime::seconds(d->child_double("at_s", 0));
+      x.until = when(*d, "until_s");
+      s.faults.degrades.push_back(x);
+    }
+    for (const XmlNode* sc : f->children("server_crash")) {
+      fault::ServerCrash x;
+      x.at = SimTime::seconds(sc->child_double("at_s", 0));
+      x.restore_at = when(*sc, "restore_s");
+      s.faults.server_crashes.push_back(x);
+    }
+    if (const XmlNode* tr = f->child("trace")) {
+      const std::string* file = tr->attr("file");
+      require(file != nullptr && !file->empty(),
+              "scenario xml: <trace> needs a file attribute");
+      s.faults.trace_file = *file;
+    }
     if (const XmlNode* fl = f->child("link_flap")) {
       fault::LinkFlap x;
       x.mean_up = SimTime::seconds(fl->child_double("mean_up_s", 1800));
@@ -232,6 +276,9 @@ std::string scenario_to_xml(const Scenario& s) {
                    s.project.resend_lost_results ? "1" : "0");
   p.add_child_text("report_fetch_failures",
                    s.project.report_fetch_failures ? "1" : "0");
+  p.add_child_text(
+      "snapshot_period_s",
+      common::strprintf("%.0f", s.project.snapshot_period.as_seconds()));
 
   const auto& rc = s.project.reputation;
   XmlNode& r = root.add_child("replication");
@@ -336,6 +383,41 @@ std::string scenario_to_xml(const Scenario& s) {
       if (c.restart_at < SimTime::infinity()) {
         n.add_child_text("restart_s", secs(c.restart_at));
       }
+    }
+    for (const auto& g : s.faults.groups) {
+      XmlNode& n = f.add_child("group");
+      n.set_attr("name", g.name);
+      std::vector<std::string> hosts;
+      hosts.reserve(g.hosts.size());
+      for (const int h : g.hosts) hosts.push_back(std::to_string(h));
+      n.add_child_text("hosts", common::join(hosts, ","));
+    }
+    for (const auto& gf : s.faults.group_faults) {
+      XmlNode& n = f.add_child("group_fault");
+      n.add_child_text("group", gf.group);
+      n.add_child_text("down_s", secs(gf.down_at));
+      if (gf.up_at < SimTime::infinity()) {
+        n.add_child_text("up_s", secs(gf.up_at));
+      }
+    }
+    for (const auto& d : s.faults.degrades) {
+      XmlNode& n = f.add_child("link_degrade");
+      n.add_child_text("host", std::to_string(d.host));
+      n.add_child_text("factor", common::strprintf("%.6f", d.factor));
+      n.add_child_text("at_s", secs(d.at));
+      if (d.until < SimTime::infinity()) {
+        n.add_child_text("until_s", secs(d.until));
+      }
+    }
+    for (const auto& sc : s.faults.server_crashes) {
+      XmlNode& n = f.add_child("server_crash");
+      n.add_child_text("at_s", secs(sc.at));
+      if (sc.restore_at < SimTime::infinity()) {
+        n.add_child_text("restore_s", secs(sc.restore_at));
+      }
+    }
+    if (!s.faults.trace_file.empty()) {
+      f.add_child("trace").set_attr("file", s.faults.trace_file);
     }
     if (s.faults.link_flap) {
       XmlNode& n = f.add_child("link_flap");

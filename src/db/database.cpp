@@ -492,4 +492,18 @@ Database Database::load(const std::string& snapshot) {
   return out;
 }
 
+void Database::restore_from(const std::string& snapshot) {
+  Database loaded = load(snapshot);
+  // Autoincrement floors: ids minted between snapshot and crash stay
+  // retired, so a reconciled client report can never collide with a
+  // post-restore result under a recycled id.
+  loaded.next_app_ = std::max(loaded.next_app_, next_app_);
+  loaded.next_host_ = std::max(loaded.next_host_, next_host_);
+  loaded.next_file_ = std::max(loaded.next_file_, next_file_);
+  loaded.next_wu_ = std::max(loaded.next_wu_, next_wu_);
+  loaded.next_result_ = std::max(loaded.next_result_, next_result_);
+  loaded.next_job_ = std::max(loaded.next_job_, next_job_);
+  *this = std::move(loaded);
+}
+
 }  // namespace vcmr::db

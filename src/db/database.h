@@ -76,6 +76,12 @@ class Database {
   /// Text snapshot of all tables; `load` reconstructs an equivalent database.
   std::string save() const;
   static Database load(const std::string& snapshot);
+  /// Crash recovery: replace this database's contents with the snapshot,
+  /// but keep the id counters at least as high as they are now — the
+  /// autoincrement state survives a rollback (as MySQL's would on disk), so
+  /// results assigned after the snapshot are never re-minted under the same
+  /// id while clients still hold the originals.
+  void restore_from(const std::string& snapshot);
 
  private:
   std::map<AppId, AppRecord> apps_;

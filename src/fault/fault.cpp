@@ -1,5 +1,10 @@
 #include "fault/fault.h"
 
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -10,6 +15,80 @@ namespace vcmr::fault {
 
 namespace {
 common::Logger log_("fault");
+}
+
+std::vector<LinkFault> compile_availability_trace(const std::string& csv,
+                                                  int n_hosts) {
+  const auto fail = [](int line, const std::string& why) {
+    throw Error(common::strprintf("availability trace line %d: %s", line,
+                                  why.c_str()));
+  };
+  // host -> availability windows in file order; validated per host as rows
+  // arrive so the error names the first offending line.
+  struct Window {
+    double on, off;
+  };
+  std::map<int, std::vector<Window>> windows;
+  std::istringstream in(csv);
+  std::string row;
+  int line = 0;
+  while (std::getline(in, row)) {
+    ++line;
+    const std::string_view t = common::trim(row);
+    if (t.empty() || t[0] == '#') continue;
+    const auto fields = common::split(t, ',');
+    if (fields.size() != 3) fail(line, "expected host_id,on_at,off_at");
+    std::int64_t host = 0;
+    double on = 0, off = 0;
+    if (!common::parse_i64(common::trim(fields[0]), &host)) {
+      fail(line, "bad host_id '" + fields[0] + "'");
+    }
+    if (!common::parse_double(common::trim(fields[1]), &on) ||
+        !common::parse_double(common::trim(fields[2]), &off)) {
+      fail(line, "bad on_at/off_at");
+    }
+    if (host < 0 || host >= n_hosts) {
+      fail(line, common::strprintf("host %lld out of range [0, %d)",
+                                   static_cast<long long>(host), n_hosts));
+    }
+    if (on < 0) fail(line, "negative on_at");
+    if (off <= on) fail(line, "interval is empty (off_at <= on_at)");
+    auto& w = windows[static_cast<int>(host)];
+    if (!w.empty()) {
+      if (on < w.back().on) fail(line, "intervals not sorted for this host");
+      if (on < w.back().off) fail(line, "interval overlaps the previous one");
+    }
+    w.push_back({on, off});
+  }
+
+  // A traced host is down in the complement of its windows. Adjacent
+  // windows (on == previous off) leave no gap and emit nothing.
+  std::vector<LinkFault> out;
+  for (const auto& [host, w] : windows) {
+    const auto add = [&](double down, double up_or_neg) {
+      LinkFault lf;
+      lf.host = host;
+      lf.from_trace = true;
+      lf.down_at = SimTime::seconds(down);
+      if (up_or_neg >= 0) lf.up_at = SimTime::seconds(up_or_neg);
+      out.push_back(lf);
+    };
+    if (w.front().on > 0) add(0, w.front().on);
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      if (w[i].on > w[i - 1].off) add(w[i - 1].off, w[i].on);
+    }
+    add(w.back().off, -1);  // off at the end of the trace, never back
+  }
+  return out;
+}
+
+std::vector<LinkFault> load_availability_trace_file(const std::string& path,
+                                                    int n_hosts) {
+  std::ifstream f(path);
+  if (!f) throw Error("availability trace: cannot read " + path);
+  std::ostringstream body;
+  body << f.rdbuf();
+  return compile_availability_trace(body.str(), n_hosts);
 }
 
 Injector::Injector(sim::Simulation& sim, FaultPlan plan, Hooks hooks,
@@ -43,6 +122,38 @@ Injector::Injector(sim::Simulation& sim, FaultPlan plan, Hooks hooks,
     check_host(c.host, "crash");
     require(c.restart_at > c.at, "FaultPlan: crash restart_at <= at");
   }
+  require(plan_.trace_file.empty(),
+          "FaultPlan: trace_file must be compiled into link faults before "
+          "the Injector is built (compile_availability_trace)");
+  for (const auto& g : plan_.groups) {
+    require(!g.name.empty(), "FaultPlan: group with no name");
+    require(!g.hosts.empty(), "FaultPlan: group with no hosts");
+    for (const int h : g.hosts) check_host(h, "group");
+    const auto dup = std::count_if(
+        plan_.groups.begin(), plan_.groups.end(),
+        [&](const HostGroup& o) { return o.name == g.name; });
+    require(dup == 1, "FaultPlan: duplicate group name");
+  }
+  for (const auto& gf : plan_.group_faults) {
+    const auto it = std::find_if(
+        plan_.groups.begin(), plan_.groups.end(),
+        [&](const HostGroup& g) { return g.name == gf.group; });
+    if (it == plan_.groups.end()) {
+      throw Error("FaultPlan: group_fault references unknown group '" +
+                  gf.group + "'");
+    }
+    require(gf.up_at > gf.down_at, "FaultPlan: group_fault up_at <= down_at");
+  }
+  for (const auto& d : plan_.degrades) {
+    check_host(d.host, "link_degrade");
+    require(d.factor > 0.0 && d.factor <= 1.0,
+            "FaultPlan: link_degrade factor must be in (0,1]");
+    require(d.until > d.at, "FaultPlan: link_degrade until <= at");
+  }
+  for (const auto& sc : plan_.server_crashes) {
+    require(sc.restore_at > sc.at,
+            "FaultPlan: server_crash restore_at <= at");
+  }
   require(plan_.upload_corruption_rate >= 0 &&
               plan_.upload_corruption_rate <= 1,
           "FaultPlan: upload_corruption_rate must be in [0,1]");
@@ -75,16 +186,79 @@ void Injector::arm() {
 
   for (const auto& lf : plan_.link_faults) {
     const int host = lf.host;
-    sim_.at(lf.down_at, [this, host] {
-      ++stats_.links_downed;
-      record("link_down", "host" + std::to_string(host + 1));
+    const bool traced = lf.from_trace;
+    sim_.at(lf.down_at, [this, host, traced] {
+      ++(traced ? stats_.trace_links_downed : stats_.links_downed);
+      record(traced ? "trace_down" : "link_down",
+             "host" + std::to_string(host + 1));
       if (hooks_.set_link) hooks_.set_link(host, false);
     });
     if (lf.up_at < SimTime::infinity()) {
-      sim_.at(lf.up_at, [this, host] {
-        ++stats_.links_restored;
-        record("link_up", "host" + std::to_string(host + 1));
+      sim_.at(lf.up_at, [this, host, traced] {
+        ++(traced ? stats_.trace_links_restored : stats_.links_restored);
+        record(traced ? "trace_up" : "link_up",
+               "host" + std::to_string(host + 1));
         if (hooks_.set_link) hooks_.set_link(host, true);
+      });
+    }
+  }
+
+  for (const auto& gf : plan_.group_faults) {
+    const auto git = std::find_if(
+        plan_.groups.begin(), plan_.groups.end(),
+        [&](const HostGroup& g) { return g.name == gf.group; });
+    // Copy: the lambda must not dangle on plan_ internals being moved.
+    const std::vector<int> members = git->hosts;
+    const std::string name = gf.group;
+    sim_.at(gf.down_at, [this, members, name] {
+      ++stats_.groups_downed;
+      record("group_down",
+             common::strprintf("%s (%zu hosts)", name.c_str(),
+                               members.size()));
+      if (hooks_.set_link) {
+        for (const int h : members) hooks_.set_link(h, false);
+      }
+    });
+    if (gf.up_at < SimTime::infinity()) {
+      sim_.at(gf.up_at, [this, members, name] {
+        ++stats_.groups_restored;
+        record("group_up", name);
+        if (hooks_.set_link) {
+          for (const int h : members) hooks_.set_link(h, true);
+        }
+      });
+    }
+  }
+
+  for (const auto& d : plan_.degrades) {
+    const int host = d.host;
+    const double factor = d.factor;
+    sim_.at(d.at, [this, host, factor] {
+      ++stats_.links_degraded;
+      record("link_degrade",
+             common::strprintf("host%d x%.3f", host + 1, factor));
+      if (hooks_.set_link_degrade) hooks_.set_link_degrade(host, factor);
+    });
+    if (d.until < SimTime::infinity()) {
+      sim_.at(d.until, [this, host] {
+        ++stats_.links_undegraded;
+        record("link_restore_rate", "host" + std::to_string(host + 1));
+        if (hooks_.set_link_degrade) hooks_.set_link_degrade(host, 1.0);
+      });
+    }
+  }
+
+  for (const auto& sc : plan_.server_crashes) {
+    sim_.at(sc.at, [this] {
+      ++stats_.server_crashes;
+      record("server_crash", "scheduler/daemon state lost");
+      if (hooks_.crash_server) hooks_.crash_server();
+    });
+    if (sc.restore_at < SimTime::infinity()) {
+      sim_.at(sc.restore_at, [this] {
+        ++stats_.server_restores;
+        record("server_restore", "restored from DB snapshot");
+        if (hooks_.restore_server) hooks_.restore_server();
       });
     }
   }

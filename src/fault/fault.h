@@ -34,6 +34,47 @@ struct LinkFault {
   int host = -1;  ///< volunteer index in [0, n_hosts)
   SimTime down_at;
   SimTime up_at = SimTime::infinity();  ///< infinity = never restored
+  /// Compiled from an availability trace rather than hand-written; counted
+  /// separately so sweeps can tell replayed churn from injected faults.
+  bool from_trace = false;
+};
+
+/// Named host set for correlated faults: the hosts share infrastructure (a
+/// campus uplink, a cable segment, a power feed), so one fault event takes
+/// every member down together.
+struct HostGroup {
+  std::string name;
+  std::vector<int> hosts;
+};
+
+/// Correlated failure: every member of `group` loses its access link at
+/// `down_at` and (optionally) regains it at `up_at` — the volunteer-cloud
+/// burst pattern a set of independent LinkFaults cannot reproduce.
+struct GroupFault {
+  std::string group;
+  SimTime down_at;
+  SimTime up_at = SimTime::infinity();
+};
+
+/// Bandwidth degradation: the host's access link keeps working but both
+/// directions are scaled to `factor` of nominal for the window — a slow
+/// link, not a dead one. Flows re-enter the max-min fair-share allocation
+/// at the reduced rate instead of failing.
+struct LinkDegrade {
+  int host = -1;
+  double factor = 0.5;  ///< in (0, 1]; 1.0 restores nominal capacity
+  SimTime at;
+  SimTime until = SimTime::infinity();  ///< infinity = degraded forever
+};
+
+/// Server crash-fault: at `at` the scheduler and daemons lose all volatile
+/// state (feeder cache, JobTracker runtime, anything reported since the
+/// last DB snapshot); scheduler RPCs fail with 503 until `restore_at`, when
+/// the project reloads the latest snapshot and resumes. In-flight results
+/// reported in the lost window reconcile via resend_lost_results.
+struct ServerCrash {
+  SimTime at;
+  SimTime restore_at = SimTime::infinity();
 };
 
 /// The listed hosts are split from everyone else (server included): flows
@@ -75,6 +116,13 @@ struct FaultPlan {
   std::vector<Partition> partitions;
   std::vector<ServerOutage> server_outages;
   std::vector<ClientCrash> crashes;
+  std::vector<HostGroup> groups;
+  std::vector<GroupFault> group_faults;
+  std::vector<LinkDegrade> degrades;
+  std::vector<ServerCrash> server_crashes;
+  /// Availability-trace CSV ("host_id,on_at_s,off_at_s" rows); compiled
+  /// into trace-tagged link faults before the Injector is built.
+  std::string trace_file;
   std::optional<LinkFlap> link_flap;
   /// Probability that a finished task's upload/report is corrupted (digest
   /// flipped; the quorum validator is what must catch it).
@@ -86,10 +134,26 @@ struct FaultPlan {
 
   bool empty() const {
     return link_faults.empty() && partitions.empty() &&
-           server_outages.empty() && crashes.empty() && !link_flap &&
+           server_outages.empty() && crashes.empty() && groups.empty() &&
+           group_faults.empty() && degrades.empty() &&
+           server_crashes.empty() && trace_file.empty() && !link_flap &&
            upload_corruption_rate <= 0.0 && rpc_loss_rate <= 0.0;
   }
 };
+
+/// Compiles availability-trace CSV text into link faults (from_trace=true).
+/// Each row `host_id,on_at_s,off_at_s` declares one availability window;
+/// a host is *down* outside its windows (before the first, between windows,
+/// and after the last — a host with no rows is always up). Per-host windows
+/// must be sorted and non-overlapping; violations, malformed fields, and
+/// out-of-range hosts raise vcmr::Error naming the offending line. Lines
+/// that are blank or start with '#' are skipped.
+std::vector<LinkFault> compile_availability_trace(const std::string& csv,
+                                                  int n_hosts);
+
+/// Reads `path` and compiles it; throws vcmr::Error if unreadable.
+std::vector<LinkFault> load_availability_trace_file(const std::string& path,
+                                                    int n_hosts);
 
 /// Injection/recovery counters, surfaced in core::RunOutcome.
 struct FaultStats {
@@ -103,14 +167,27 @@ struct FaultStats {
   std::int64_t client_restarts = 0;
   std::int64_t uploads_corrupted = 0;
   std::int64_t messages_dropped = 0;
+  // New families (one injection per fault *event*: a group fault counts
+  // once however many member links it takes down).
+  std::int64_t groups_downed = 0;
+  std::int64_t groups_restored = 0;
+  std::int64_t links_degraded = 0;
+  std::int64_t links_undegraded = 0;
+  std::int64_t trace_links_downed = 0;    ///< replayed from a trace
+  std::int64_t trace_links_restored = 0;
+  std::int64_t server_crashes = 0;        ///< scheduler/daemon state loss
+  std::int64_t server_restores = 0;       ///< DB-snapshot restores
 
   std::int64_t injected() const {
     return links_downed + partitions_started + server_outages +
-           client_crashes + uploads_corrupted + messages_dropped;
+           client_crashes + uploads_corrupted + messages_dropped +
+           groups_downed + links_degraded + trace_links_downed +
+           server_crashes;
   }
   std::int64_t recovered() const {
     return links_restored + partitions_healed + server_restarts +
-           client_restarts;
+           client_restarts + groups_restored + links_undegraded +
+           trace_links_restored + server_restores;
   }
 };
 
@@ -127,6 +204,12 @@ struct Hooks {
   std::function<void(bool up)> set_data_server;
   std::function<void(int host)> crash_client;
   std::function<void(int host)> restart_client;
+  /// Scale host `i`'s access-link capacity (both directions); 1.0 restores
+  /// nominal. Active flows re-enter the max-min allocation at the new rate.
+  std::function<void(int host, double factor)> set_link_degrade;
+  /// Scheduler/daemon state loss and snapshot restore (server crash-fault).
+  std::function<void()> crash_server;
+  std::function<void()> restore_server;
 };
 
 class Injector {

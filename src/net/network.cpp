@@ -56,6 +56,16 @@ void Network::set_online(NodeId id, bool online) {
 
 bool Network::online(NodeId id) const { return node(id).online; }
 
+void Network::set_link_scale(NodeId id, double scale) {
+  require(scale > 0, "Network::set_link_scale: scale must be positive");
+  Node& n = node(id);
+  if (n.link_scale == scale) return;
+  n.link_scale = scale;
+  reallocate();
+}
+
+double Network::link_scale(NodeId id) const { return node(id).link_scale; }
+
 void Network::set_partition_class(NodeId id, int cls) {
   Node& n = node(id);
   if (n.partition == cls) return;
@@ -96,7 +106,7 @@ std::vector<std::int64_t> Network::resources_of(const Flow& f) const {
 double Network::resource_capacity(std::int64_t key) const {
   const NodeId id{key >= 0 ? key : -key - 1};
   const Node& n = node(id);
-  return key >= 0 ? n.cfg.up_bps : n.cfg.down_bps;
+  return (key >= 0 ? n.cfg.up_bps : n.cfg.down_bps) * n.link_scale;
 }
 
 FlowId Network::start_flow(FlowSpec spec) {
@@ -358,9 +368,11 @@ void Network::send_message(NodeId from, NodeId to, Bytes size,
     return;
   }
   // Control messages are latency-bound: propagation plus serialisation at
-  // the slower of the two access links; they do not contend with data flows.
+  // the slower of the two access links (degradation-scaled); they do not
+  // contend with data flows.
   const double ser_rate =
-      std::min(node(from).cfg.up_bps, node(to).cfg.down_bps);
+      std::min(node(from).cfg.up_bps * node(from).link_scale,
+               node(to).cfg.down_bps * node(to).link_scale);
   const SimTime delay = latency(from) + latency(to) +
                         SimTime::seconds(static_cast<double>(size) / ser_rate);
   sim_.after(delay, [this, from, to, on_delivered = std::move(on_delivered),

@@ -73,6 +73,13 @@ class Network {
   void set_online(NodeId id, bool online);
   bool online(NodeId id) const;
 
+  /// Bandwidth degradation (fault injection): scale the node's access-link
+  /// capacity (both directions) to `scale` of nominal. Active flows are
+  /// settled and re-enter the max-min fair-share allocation at the new
+  /// capacity instead of failing; 1.0 restores nominal. Requires scale > 0.
+  void set_link_scale(NodeId id, double scale);
+  double link_scale(NodeId id) const;
+
   /// Network partitions (fault injection): nodes in different classes
   /// cannot exchange flows or messages. All nodes start in class 0;
   /// changing a node's class fails its flows that now cross the cut.
@@ -136,6 +143,10 @@ class Network {
     NodeConfig cfg;
     bool online = true;
     int partition = 0;
+    /// Degradation factor applied to both link directions. Exactly 1.0 by
+    /// default: multiplying by it is a bit-exact no-op, so fault-free runs
+    /// stay identical to builds without degradation support.
+    double link_scale = 1.0;
     NodeTraffic traffic;
   };
 

@@ -31,6 +31,10 @@ struct ProjectConfig {
   SimTime validator_period = SimTime::seconds(10);
   SimTime assimilator_period = SimTime::seconds(10);
   int feeder_cache_size = 200;
+  /// Cadence of DB snapshots (crash-recovery points). The snapshot daemon
+  /// is only armed when the fault plan contains server crashes, so fault-
+  /// free runs schedule no extra events and stay bit-identical.
+  SimTime snapshot_period = SimTime::seconds(60);
 
   // --- scheduler -------------------------------------------------------------
   /// Simulated CPU time the scheduler spends on one RPC.

@@ -26,6 +26,11 @@ class Feeder {
   /// Scheduler took (or invalidated) an entry.
   void remove(ResultId id);
 
+  /// Server crash/restore: the shared-memory segment does not survive a
+  /// daemon restart, and cached ResultIds may not exist in a rolled-back
+  /// database. The next refill() repopulates from the restored tables.
+  void clear() { cache_.clear(); }
+
   std::size_t capacity() const { return static_cast<std::size_t>(cache_size_); }
 
  private:

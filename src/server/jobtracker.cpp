@@ -210,6 +210,40 @@ void JobTracker::create_reduce_wus(db::MrJobRecord& job) {
             " reduce work units");
 }
 
+void JobTracker::rebuild_runtime() {
+  mr::register_builtin_apps();
+  runtime_.clear();
+  db_.for_each_mr_job([this](const db::MrJobRecord& job) {
+    JobRuntime rt;
+    const mr::MapReduceApp* app =
+        mr::AppRegistry::instance().find(db_.app(job.app).name);
+    require(app != nullptr, "rebuild_runtime: unknown app in snapshot");
+    rt.cost = app->cost();
+
+    std::vector<FileId> seen;
+    for (const WorkUnitId wid :
+         db_.workunits_of_job(job.id, db::MrPhase::kMap)) {
+      const db::WorkUnitRecord& wu = db_.workunit(wid);
+      if (wu.canonical_found) ++rt.maps_validated;
+      for (const FileId fid : wu.input_files) {
+        // Shared-input sweeps reference one file from every map WU; count
+        // each staged chunk once.
+        if (std::find(seen.begin(), seen.end(), fid) != seen.end()) continue;
+        seen.push_back(fid);
+        rt.input_size += db_.file(fid).size;
+      }
+    }
+    for (const WorkUnitId wid :
+         db_.workunits_of_job(job.id, db::MrPhase::kReduce)) {
+      rt.reduce_created = true;
+      if (db_.workunit(wid).assimilate_state == db::AssimilateState::kDone) {
+        ++rt.reduces_assimilated;
+      }
+    }
+    runtime_[job.id] = rt;
+  });
+}
+
 void JobTracker::wu_validated(WorkUnitId wid) {
   const db::WorkUnitRecord& wu = db_.workunit(wid);
   if (wu.mr_phase != db::MrPhase::kMap) return;

@@ -52,6 +52,14 @@ class JobTracker {
   void wu_assimilated(WorkUnitId wu);
   void wu_errored(WorkUnitId wu);
 
+  /// Server crash recovery: drop the in-memory per-job runtime and derive
+  /// it again from the (restored) database — validated-map counts from
+  /// canonical map WUs, assimilated-reduce counts from assimilate states,
+  /// input sizes from the staged chunk files, and cost models from the app
+  /// registry. Everything the JobTracker tracks is a pure function of DB
+  /// state, which is what makes the scheduler tier stateless-restartable.
+  void rebuild_runtime();
+
   /// What a reported peer-fetch failure led to.
   enum class FetchFailureAction {
     kStale,        ///< unknown job / holder no longer registered / job over

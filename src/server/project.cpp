@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/error.h"
 #include "obs/event.h"
 #include "obs/metrics.h"
 
@@ -48,7 +49,8 @@ Project::Project(sim::Simulation& sim, net::HttpService& http,
       feeder_daemon_(sim, "feeder"),
       transitioner_daemon_(sim, "transitioner"),
       validator_daemon_(sim, "validator"),
-      assimilator_daemon_(sim, "assimilator") {
+      assimilator_daemon_(sim, "assimilator"),
+      snapshot_daemon_(sim, "snapshot") {
   validator_.set_validated_listener(
       [this](WorkUnitId wu) { jobtracker_.wu_validated(wu); });
   assimilator_.set_assimilated_listener(
@@ -85,6 +87,13 @@ void Project::start() {
     note_daemon_pass(sim_, "assimilator",
                      assimilator_.assimilated() - before);
   });
+  if (snapshots_enabled_) {
+    take_snapshot();  // a restore point exists from the first instant
+    snapshot_daemon_.start(cfg_.snapshot_period, [this] {
+      take_snapshot();
+      note_daemon_pass(sim_, "snapshot", 1);
+    });
+  }
 }
 
 void Project::stop() {
@@ -92,6 +101,36 @@ void Project::stop() {
   transitioner_daemon_.stop();
   validator_daemon_.stop();
   assimilator_daemon_.stop();
+  snapshot_daemon_.stop();
+}
+
+void Project::take_snapshot() {
+  last_snapshot_ = db_.save();
+  ++snapshots_taken_;
+}
+
+void Project::crash_server() {
+  if (crashed_) return;
+  crashed_ = true;
+  stop();
+  scheduler_.crash();
+  obs::publish(sim_.now(), "project", "server_crash", "server",
+               "daemons down, scheduler 503");
+}
+
+void Project::restore_server() {
+  if (!crashed_) return;
+  require(!last_snapshot_.empty(),
+          "Project::restore_server: no snapshot to restore from "
+          "(enable_snapshots before start)");
+  db_.restore_from(last_snapshot_);
+  feeder_.clear();
+  jobtracker_.rebuild_runtime();
+  crashed_ = false;
+  scheduler_.restore();
+  start();  // daemons resume on their cadences, snapshots included
+  obs::publish(sim_.now(), "project", "server_restore", "server",
+               "DB snapshot restored, daemons restarted");
 }
 
 }  // namespace vcmr::server

@@ -36,6 +36,28 @@ class Project {
   void start();
   void stop();
 
+  // --- crash-fault support ---------------------------------------------------
+  /// Arms the periodic DB-snapshot daemon (cfg.snapshot_period) and takes
+  /// an immediate snapshot at start(), so a restore point always exists.
+  /// Call before start(). Off by default: the extra daemon ticks would
+  /// perturb the event count of fault-free golden runs.
+  void enable_snapshots() { snapshots_enabled_ = true; }
+  /// Saves the current DB as the latest restore point.
+  void take_snapshot();
+  /// Scheduler/daemon state loss: every daemon stops, the scheduler
+  /// answers 503, and all CGI soft state is discarded. The data server is
+  /// untouched — staged files live on disk, as when a BOINC project's
+  /// database host dies but its file servers keep serving.
+  void crash_server();
+  /// Restore from the latest snapshot: reload the DB (id counters keep
+  /// their floors), clear the feeder cache, rebuild the JobTracker runtime
+  /// from the restored tables, and restart the daemons and scheduler.
+  /// Results assigned or reported inside the lost window roll back to
+  /// in-progress and reconcile via resend_lost_results.
+  void restore_server();
+  bool crashed() const { return crashed_; }
+  std::int64_t snapshots_taken() const { return snapshots_taken_; }
+
   MrJobId submit_job(const MrJobSpec& spec) { return jobtracker_.submit(spec); }
 
   // --- component access -----------------------------------------------------
@@ -73,6 +95,11 @@ class Project {
   PeriodicDaemon transitioner_daemon_;
   PeriodicDaemon validator_daemon_;
   PeriodicDaemon assimilator_daemon_;
+  PeriodicDaemon snapshot_daemon_;
+  bool snapshots_enabled_ = false;
+  bool crashed_ = false;
+  std::string last_snapshot_;
+  std::int64_t snapshots_taken_ = 0;
 };
 
 }  // namespace vcmr::server

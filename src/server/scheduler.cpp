@@ -31,6 +31,12 @@ Scheduler::Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
       policy_(policy) {
   http_.listen(ep_, [this](const net::HttpRequest& req,
                            net::HttpRespondFn respond) {
+    if (down_) {
+      // Crashed server: the web tier answers but no CGI runs. Clients see
+      // a failed RPC and retry under their usual backoff.
+      respond(net::HttpResponse{503, 0, {}});
+      return;
+    }
     // Parse off the wire, then model the CGI's processing time before the
     // reply is produced.
     sched_counter("wire_bytes_in").add(static_cast<std::int64_t>(req.body.size()));
@@ -38,6 +44,11 @@ Scheduler::Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
     sim_.after(cfg_.rpc_service_time,
                [this, parsed = std::move(parsed),
                 respond = std::move(respond)] {
+                 if (down_) {
+                   // Crashed mid-service: the request dies with the CGI.
+                   respond(net::HttpResponse{503, 0, {}});
+                   return;
+                 }
                  const proto::SchedulerReply reply = process(parsed);
                  net::HttpResponse resp;
                  resp.body = proto::to_xml(reply);
@@ -49,6 +60,13 @@ Scheduler::Scheduler(sim::Simulation& sim, db::Database& db, Feeder& feeder,
 }
 
 Scheduler::~Scheduler() { http_.stop_listening(ep_); }
+
+void Scheduler::crash() {
+  down_ = true;
+  locality_skips_.clear();
+  trust_skips_.clear();
+  input_cachers_.clear();
+}
 
 proto::SchedulerReply Scheduler::process(const proto::SchedulerRequest& req) {
   ++stats_.rpcs;

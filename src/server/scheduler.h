@@ -66,6 +66,15 @@ class Scheduler {
   /// Optional trace sink; trust decisions are emitted as scheduler points.
   void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Server crash-fault: while down the endpoint answers every RPC with 503
+  /// (clients back off and retry as for any failed RPC), and the CGI's soft
+  /// state — delay-scheduling counters, trust deferrals, input-cacher map —
+  /// is discarded; it never survives a process restart.
+  void crash();
+  /// Back up after a restore; soft state rebuilds from future requests.
+  void restore() { down_ = false; }
+  bool down() const { return down_; }
+
   /// Handles one request synchronously (testing hook; the HTTP path adds
   /// the RPC service delay around this).
   proto::SchedulerReply process(const proto::SchedulerRequest& req);
@@ -100,6 +109,7 @@ class Scheduler {
   rep::AdaptiveReplicationPolicy* policy_;
   sim::TraceRecorder* trace_ = nullptr;
   SchedulerStats stats_;
+  bool down_ = false;
   std::map<ResultId, int> locality_skips_;  ///< delay-scheduling counters
   std::map<ResultId, int> trust_skips_;     ///< trusted-host deferral counters
   /// Peer-assisted input distribution: file name -> hosts serving it.

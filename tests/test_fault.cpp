@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "common/error.h"
 #include "core/cluster.h"
 #include "core/scenario_io.h"
@@ -275,6 +278,99 @@ TEST(FaultRecovery, CombinedChaosSchedule) {
   EXPECT_GE(out.faults.recovered(), 4);
 }
 
+TEST(FaultRecovery, CorrelatedGroupFaultHeals) {
+  // Three hosts behind one shared uplink go down together (correlated
+  // failure) and come back together; one injection, not three.
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::HostGroup g;
+  g.name = "dsl-street";
+  g.hosts = {1, 2, 3};
+  s.faults.groups.push_back(g);
+  fault::GroupFault gf;
+  gf.group = "dsl-street";
+  gf.down_at = SimTime::seconds(12);
+  gf.up_at = SimTime::seconds(50);
+  s.faults.group_faults.push_back(gf);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.faults.groups_downed, 1);
+  EXPECT_EQ(out.faults.groups_restored, 1);
+  EXPECT_EQ(out.faults.links_downed, 0);  // member links don't double-count
+}
+
+TEST(FaultRecovery, DegradedLinksStillComplete) {
+  // Bandwidth degradation is not the binary up/down path: flows keep
+  // moving at the scaled rate and the job completes with correct output.
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  fault::LinkDegrade d1;
+  d1.host = 0;
+  d1.factor = 0.2;
+  d1.at = SimTime::seconds(5);
+  d1.until = SimTime::seconds(80);
+  s.faults.degrades.push_back(d1);
+  fault::LinkDegrade d2;
+  d2.host = 3;
+  d2.factor = 0.5;
+  d2.at = SimTime::seconds(20);
+  d2.until = SimTime::seconds(90);
+  s.faults.degrades.push_back(d2);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.faults.links_degraded, 2);
+  EXPECT_EQ(out.faults.links_undegraded, 2);
+}
+
+TEST(FaultRecovery, TraceDrivenChurnCompletes) {
+  // Availability trace: host 2 has an off window [30, 60); host 5 only
+  // joins at t = 20. Both trailing off-forever faults (at t = 100000 s)
+  // never fire — the run settles long before.
+  const std::string text = corpus(150 * 1024, 31);
+  core::Scenario s = recovery_scenario(text);
+  const std::string csv =
+      "2,0,30\n"
+      "2,60,100000\n"
+      "5,20,100000\n";
+  for (const auto& lf : fault::compile_availability_trace(csv, s.n_nodes)) {
+    s.faults.link_faults.push_back(lf);
+  }
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.faults.trace_links_downed, 2);
+  EXPECT_EQ(out.faults.trace_links_restored, 2);
+  EXPECT_EQ(out.faults.links_downed, 0);  // trace churn counted separately
+}
+
+TEST(FaultRecovery, TraceFileThroughClusterCompletes) {
+  // Same schedule via <trace file="...">: the Cluster compiles the CSV at
+  // construction and the plan reaches the Injector already flattened.
+  const std::string text = corpus(150 * 1024, 31);
+  const std::string path = "vcmr_test_trace.csv";
+  {
+    std::ofstream f(path);
+    f << "# host_id,on_at,off_at\n"
+      << "2,0,30\n"
+      << "2,60,100000\n"
+      << "5,20,100000\n";
+  }
+  core::Scenario s = recovery_scenario(text);
+  s.faults.trace_file = path;
+  core::Cluster cluster(s);
+  std::remove(path.c_str());
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(cluster.collect_output(out.job), oracle(text, 4, 2));
+  EXPECT_EQ(out.faults.trace_links_downed, 2);
+  EXPECT_EQ(out.faults.trace_links_restored, 2);
+}
+
 // --- 3. fast lost-work recovery ---------------------------------------------
 
 TEST(FastRecovery, CrashReconnectReissuesOnFirstRpc) {
@@ -364,6 +460,86 @@ TEST(FastRecovery, MechanismsOnWithoutFaultsAreInert) {
   EXPECT_EQ(out.maps_invalidated, 0);
 }
 
+// --- trace compiler -----------------------------------------------------------
+
+void expect_trace_error(const std::string& csv, const std::string& needle) {
+  try {
+    fault::compile_availability_trace(csv, 6);
+    FAIL() << "expected Error containing '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST(TraceCompile, ComplementOfWindowsBecomesLinkFaults) {
+  // Rows are ON windows; a traced host is down in the complement.
+  const std::string csv =
+      "# synthetic availability trace\n"
+      "0,10,20\n"
+      "0,30,40\n"
+      "1,0,50\n"
+      "\n"
+      "2,5,15\n";
+  const auto faults = fault::compile_availability_trace(csv, 6);
+  ASSERT_EQ(faults.size(), 6u);
+  for (const auto& lf : faults) EXPECT_TRUE(lf.from_trace);
+  // host 0: down [0,10), [20,30), [40, forever)
+  EXPECT_EQ(faults[0].host, 0);
+  EXPECT_EQ(faults[0].down_at, SimTime::zero());
+  EXPECT_EQ(faults[0].up_at, SimTime::seconds(10));
+  EXPECT_EQ(faults[1].down_at, SimTime::seconds(20));
+  EXPECT_EQ(faults[1].up_at, SimTime::seconds(30));
+  EXPECT_EQ(faults[2].down_at, SimTime::seconds(40));
+  EXPECT_EQ(faults[2].up_at, SimTime::infinity());
+  // host 1: on from the first instant, off forever after t = 50.
+  EXPECT_EQ(faults[3].host, 1);
+  EXPECT_EQ(faults[3].down_at, SimTime::seconds(50));
+  EXPECT_EQ(faults[3].up_at, SimTime::infinity());
+  // host 2: down [0,5), [15, forever)
+  EXPECT_EQ(faults[4].host, 2);
+  EXPECT_EQ(faults[4].up_at, SimTime::seconds(5));
+  EXPECT_EQ(faults[5].down_at, SimTime::seconds(15));
+}
+
+TEST(TraceCompile, AdjacentWindowsLeaveNoGap) {
+  const auto faults = fault::compile_availability_trace("3,0,10\n3,10,20\n", 6);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].down_at, SimTime::seconds(20));
+  EXPECT_EQ(faults[0].up_at, SimTime::infinity());
+}
+
+TEST(TraceCompile, UntracedHostsStayUp) {
+  EXPECT_TRUE(fault::compile_availability_trace("", 6).empty());
+  EXPECT_TRUE(fault::compile_availability_trace("# only comments\n\n", 6)
+                  .empty());
+}
+
+TEST(TraceCompile, RejectsMalformedRowsWithLineNumbers) {
+  expect_trace_error("0,10\n", "line 1");
+  expect_trace_error("0,10\n", "expected host_id,on_at,off_at");
+  expect_trace_error("x,1,2\n", "bad host_id");
+  expect_trace_error("0,abc,2\n", "bad on_at/off_at");
+  expect_trace_error("9,1,2\n", "host 9 out of range [0, 6)");
+  expect_trace_error("0,-5,2\n", "negative on_at");
+  expect_trace_error("0,5,5\n", "interval is empty");
+}
+
+TEST(TraceCompile, RejectsUnsortedAndOverlappingIntervals) {
+  // The error names the first offending line, comments included in count.
+  expect_trace_error("# header\n0,10,20\n0,5,30\n", "line 3");
+  expect_trace_error("0,10,20\n0,5,30\n", "intervals not sorted for this host");
+  expect_trace_error("0,10,20\n0,15,30\n", "line 2");
+  expect_trace_error("0,10,20\n0,15,30\n", "interval overlaps the previous one");
+  // Other hosts' windows don't interleave the check.
+  expect_trace_error("0,10,20\n1,0,5\n0,12,30\n", "line 3");
+}
+
+TEST(TraceCompile, MissingFileThrows) {
+  EXPECT_THROW(
+      fault::load_availability_trace_file("/nonexistent/trace.csv", 6), Error);
+}
+
 // --- 4. determinism ---------------------------------------------------------
 
 TEST(FaultDeterminism, SameScheduleTwiceIsIdentical) {
@@ -409,6 +585,137 @@ TEST(FaultDeterminism, SameScheduleTwiceIsIdentical) {
   EXPECT_FALSE(ta->points_for("fault").empty());
 }
 
+// --- 5. fixed-seed pins for the new fault families ---------------------------
+//
+// Each new family gets a golden-scenario run with a fixed schedule; the
+// event count and %.17g makespan pin the whole execution, so any drift in
+// how these faults perturb the stream shows up as a failed EXPECT_EQ.
+
+TEST(FaultPins, CorrelatedGroupPinned) {
+  core::Scenario s = golden_scenario(/*mr=*/true);
+  fault::HostGroup g;
+  g.name = "rack";
+  g.hosts = {2, 3};
+  s.faults.groups.push_back(g);
+  fault::GroupFault gf;
+  gf.group = "rack";
+  gf.down_at = SimTime::seconds(20);
+  gf.up_at = SimTime::seconds(60);
+  s.faults.group_faults.push_back(gf);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(out.faults.groups_downed, 1);
+  EXPECT_EQ(out.faults.groups_restored, 1);
+  EXPECT_EQ(out.faults.injected(), 1);
+  EXPECT_EQ(out.metrics.total_seconds, 204.89070999999998);
+  EXPECT_EQ(cluster.simulation().events_executed(), 467);
+}
+
+TEST(FaultPins, LinkDegradePinned) {
+  core::Scenario s = golden_scenario(/*mr=*/true);
+  fault::LinkDegrade d;
+  d.host = 1;
+  d.factor = 0.25;
+  d.at = SimTime::seconds(20);
+  d.until = SimTime::seconds(80);
+  s.faults.degrades.push_back(d);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(out.faults.links_degraded, 1);
+  EXPECT_EQ(out.faults.links_undegraded, 1);
+  EXPECT_EQ(out.metrics.total_seconds, 205.092772);
+  EXPECT_EQ(cluster.simulation().events_executed(), 457);
+}
+
+TEST(FaultPins, TraceSchedulePinned) {
+  core::Scenario s = golden_scenario(/*mr=*/true);
+  const std::string csv =
+      "3,0,40\n"
+      "3,70,100000\n"
+      "6,25,100000\n";
+  for (const auto& lf : fault::compile_availability_trace(csv, s.n_nodes)) {
+    s.faults.link_faults.push_back(lf);
+  }
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(out.faults.trace_links_downed, 2);
+  EXPECT_EQ(out.faults.trace_links_restored, 2);
+  EXPECT_EQ(out.faults.links_downed, 0);
+  EXPECT_EQ(out.metrics.total_seconds, 204.89070999999998);
+  EXPECT_EQ(cluster.simulation().events_executed(), 453);
+}
+
+TEST(FaultPins, ServerCrashRestorePinned) {
+  core::Scenario s = golden_scenario(/*mr=*/true);
+  s.project.resend_lost_results = true;
+  fault::ServerCrash sc;
+  sc.at = SimTime::seconds(100);
+  sc.restore_at = SimTime::seconds(125);
+  s.faults.server_crashes.push_back(sc);
+  core::Cluster cluster(s);
+  const core::RunOutcome out = cluster.run_job();
+  ASSERT_TRUE(out.metrics.completed);
+  EXPECT_EQ(out.faults.server_crashes, 1);
+  EXPECT_EQ(out.faults.server_restores, 1);
+  EXPECT_GE(cluster.project().snapshots_taken(), 2);  // at start and t = 60
+  EXPECT_EQ(out.metrics.total_seconds, 339.89320400000003);
+  EXPECT_EQ(cluster.simulation().events_executed(), 645);
+}
+
+// --- 6. randomized recovery property ------------------------------------------
+//
+// Byte-identical output under randomized correlated-failure + degradation
+// schedules: whatever groups go dark and whichever links crawl, the job
+// must complete with exactly the oracle's word counts.
+
+TEST(FaultProperty, RandomCorrelatedAndDegradedSchedules) {
+  const std::string text = corpus(150 * 1024, 31);
+  const std::vector<mr::KeyValue> expect = oracle(text, 4, 2);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE("schedule seed " + std::to_string(seed));
+    common::Rng rng = common::RngStreamFactory(900 + seed).stream("sched");
+    core::Scenario s = recovery_scenario(text);
+    s.seed = 100 + seed;
+    s.time_limit = SimTime::hours(24);
+
+    // One correlated group of 2-3 hosts with a bounded outage window.
+    fault::HostGroup g;
+    g.name = "g";
+    const int first = static_cast<int>(rng.uniform_int(0, 3));
+    const int span = static_cast<int>(rng.uniform_int(2, 3));
+    for (int h = first; h < first + span; ++h) g.hosts.push_back(h);
+    s.faults.groups.push_back(g);
+    // Faults start by t = 50 so every schedule fires before the fastest
+    // possible completion (~70 s); recovery windows may outlive the job.
+    fault::GroupFault gf;
+    gf.group = "g";
+    gf.down_at = SimTime::seconds(rng.uniform(5, 50));
+    gf.up_at = gf.down_at + SimTime::seconds(rng.uniform(5, 40));
+    s.faults.group_faults.push_back(gf);
+
+    // One or two degraded links with random severity.
+    const int n_degrades = static_cast<int>(rng.uniform_int(1, 2));
+    for (int i = 0; i < n_degrades; ++i) {
+      fault::LinkDegrade d;
+      d.host = static_cast<int>(rng.uniform_int(0, 5));
+      d.factor = rng.uniform(0.25, 1.0);
+      d.at = SimTime::seconds(rng.uniform(5, 50));
+      d.until = d.at + SimTime::seconds(rng.uniform(10, 60));
+      s.faults.degrades.push_back(d);
+    }
+
+    core::Cluster cluster(s);
+    const core::RunOutcome out = cluster.run_job();
+    ASSERT_TRUE(out.metrics.completed);
+    EXPECT_EQ(cluster.collect_output(out.job), expect);
+    EXPECT_EQ(out.faults.groups_downed, 1);
+    EXPECT_EQ(out.faults.links_degraded, n_degrades);
+  }
+}
+
 // --- plan validation and XML round-trip -------------------------------------
 
 TEST(FaultPlanValidation, RejectsBadSchedules) {
@@ -427,6 +734,53 @@ TEST(FaultPlanValidation, RejectsBadSchedules) {
   s.faults.crashes.clear();
   s.faults.rpc_loss_rate = 1.5;
   EXPECT_THROW(core::Cluster{s}, Error);
+}
+
+TEST(FaultPlanValidation, RejectsBadNewFamilySchedules) {
+  const std::string text = corpus(40 * 1024, 31);
+  const core::Scenario base = recovery_scenario(text);
+
+  {  // group_fault naming a group that was never declared
+    core::Scenario s = base;
+    s.faults.group_faults.push_back(
+        {.group = "ghost", .down_at = SimTime::seconds(1)});
+    EXPECT_THROW(core::Cluster{s}, Error);
+  }
+  {  // group member out of range
+    core::Scenario s = base;
+    s.faults.groups.push_back({.name = "g", .hosts = {0, 42}});
+    EXPECT_THROW(core::Cluster{s}, Error);
+  }
+  {  // duplicate group names
+    core::Scenario s = base;
+    s.faults.groups.push_back({.name = "g", .hosts = {0}});
+    s.faults.groups.push_back({.name = "g", .hosts = {1}});
+    EXPECT_THROW(core::Cluster{s}, Error);
+  }
+  {  // degrade factor outside (0,1]
+    core::Scenario s = base;
+    s.faults.degrades.push_back(
+        {.host = 0, .factor = 1.5, .at = SimTime::seconds(1)});
+    EXPECT_THROW(core::Cluster{s}, Error);
+    s.faults.degrades[0].factor = 0.0;
+    EXPECT_THROW(core::Cluster{s}, Error);
+  }
+  {  // server crash that restores before it happens
+    core::Scenario s = base;
+    s.faults.server_crashes.push_back(
+        {.at = SimTime::seconds(10), .restore_at = SimTime::seconds(5)});
+    EXPECT_THROW(core::Cluster{s}, Error);
+  }
+  {  // trace file that cannot be read
+    core::Scenario s = base;
+    s.faults.trace_file = "/nonexistent/trace.csv";
+    EXPECT_THROW(core::Cluster{s}, Error);
+  }
+  // An uncompiled trace_file must never reach the Injector directly.
+  sim::Simulation sim(1);
+  fault::FaultPlan plan;
+  plan.trace_file = "whatever.csv";
+  EXPECT_THROW(fault::Injector(sim, plan, {}, 6, nullptr), Error);
 }
 
 TEST(FaultPlanXml, RoundTripsThroughScenarioIo) {
@@ -454,6 +808,17 @@ TEST(FaultPlanXml, RoundTripsThroughScenarioIo) {
                                        .mean_down = SimTime::seconds(30)};
   s.faults.upload_corruption_rate = 0.25;
   s.faults.rpc_loss_rate = 0.125;
+  s.faults.groups.push_back({.name = "cable-isp", .hosts = {1, 2}});
+  s.faults.group_faults.push_back({.group = "cable-isp",
+                                   .down_at = SimTime::seconds(70),
+                                   .up_at = SimTime::seconds(80)});
+  s.faults.degrades.push_back({.host = 2,
+                               .factor = 0.375,
+                               .at = SimTime::seconds(90),
+                               .until = SimTime::seconds(95)});
+  s.faults.server_crashes.push_back({.at = SimTime::seconds(100)});
+  s.faults.trace_file = "traces/seti.csv";
+  s.project.snapshot_period = SimTime::seconds(45);
 
   const core::Scenario r = core::scenario_from_xml(core::scenario_to_xml(s));
   ASSERT_EQ(r.faults.link_faults.size(), 1u);
@@ -472,6 +837,23 @@ TEST(FaultPlanXml, RoundTripsThroughScenarioIo) {
   EXPECT_EQ(r.faults.link_flap->mean_up, SimTime::minutes(10));
   EXPECT_EQ(r.faults.upload_corruption_rate, 0.25);
   EXPECT_EQ(r.faults.rpc_loss_rate, 0.125);
+  ASSERT_EQ(r.faults.groups.size(), 1u);
+  EXPECT_EQ(r.faults.groups[0].name, "cable-isp");
+  EXPECT_EQ(r.faults.groups[0].hosts, (std::vector<int>{1, 2}));
+  ASSERT_EQ(r.faults.group_faults.size(), 1u);
+  EXPECT_EQ(r.faults.group_faults[0].group, "cable-isp");
+  EXPECT_EQ(r.faults.group_faults[0].down_at, SimTime::seconds(70));
+  EXPECT_EQ(r.faults.group_faults[0].up_at, SimTime::seconds(80));
+  ASSERT_EQ(r.faults.degrades.size(), 1u);
+  EXPECT_EQ(r.faults.degrades[0].host, 2);
+  EXPECT_EQ(r.faults.degrades[0].factor, 0.375);
+  EXPECT_EQ(r.faults.degrades[0].at, SimTime::seconds(90));
+  EXPECT_EQ(r.faults.degrades[0].until, SimTime::seconds(95));
+  ASSERT_EQ(r.faults.server_crashes.size(), 1u);
+  EXPECT_EQ(r.faults.server_crashes[0].at, SimTime::seconds(100));
+  EXPECT_EQ(r.faults.server_crashes[0].restore_at, SimTime::infinity());
+  EXPECT_EQ(r.faults.trace_file, "traces/seti.csv");
+  EXPECT_EQ(r.project.snapshot_period, SimTime::seconds(45));
   EXPECT_FALSE(r.faults.empty());
 
   // A scenario without faults serializes without a <faults> block at all.

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "net/network.h"
 #include "sim/simulation.h"
 
@@ -376,6 +377,81 @@ TEST_P(FairShareSweep, RatesConserveCapacity) {
 
 INSTANTIATE_TEST_SUITE_P(Flows, FairShareSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 16, 40));
+
+// --- bandwidth degradation (link_scale) -----------------------------------
+
+TEST(NetworkDegrade, ScaledLinkSlowsTransfer) {
+  Fixture f;
+  const NodeId a = f.add(100, 100);
+  const NodeId b = f.add(100, 100);
+  f.net.set_link_scale(a, 0.5);  // uplink now effectively 50 Mbit
+  bool done = false;
+  FlowSpec fs;
+  fs.src = a;
+  fs.dst = b;
+  fs.bytes = 12'500'000;  // 1 s at full rate → 2 s degraded
+  fs.on_complete = [&] { done = true; };
+  f.net.start_flow(std::move(fs));
+  f.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(f.sim.now().as_seconds(), 2.0, 0.02);
+}
+
+TEST(NetworkDegrade, MidFlowDegradeAndRestoreReallocate) {
+  Fixture f;
+  const NodeId a = f.add(100, 100);
+  const NodeId b = f.add(100, 100);
+  bool done = false;
+  FlowSpec fs;
+  fs.src = a;
+  fs.dst = b;
+  fs.bytes = 12'500'000;
+  fs.on_complete = [&] { done = true; };
+  f.net.start_flow(std::move(fs));
+  // [0, 0.5] full rate: 6.25 MB.  [0.5, 1.5] quarter rate: 3.125 MB.
+  // Remaining 3.125 MB at full rate: 0.25 s.  Total 1.75 s.
+  f.sim.at(SimTime::millis(500), [&] { f.net.set_link_scale(a, 0.25); });
+  f.sim.at(SimTime::millis(1500), [&] { f.net.set_link_scale(a, 1.0); });
+  f.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(f.sim.now().as_seconds(), 1.75, 0.02);
+}
+
+TEST(NetworkDegrade, DegradedBottleneckStillSharedFairly) {
+  Fixture f;
+  // The degraded uplink is also a two-flow bottleneck: max-min fair share
+  // must split the *scaled* capacity, not the configured one.
+  const NodeId server = f.add(100, 100);
+  const NodeId c1 = f.add(100, 100);
+  const NodeId c2 = f.add(100, 100);
+  f.net.set_link_scale(server, 0.5);  // 50 Mbit to split
+  int done = 0;
+  std::vector<FlowId> ids;
+  for (const NodeId dst : {c1, c2}) {
+    FlowSpec fs;
+    fs.src = server;
+    fs.dst = dst;
+    fs.bytes = 6'250'000;  // 25 Mbit share → 2 s each
+    fs.on_complete = [&] { ++done; };
+    ids.push_back(f.net.start_flow(std::move(fs)));
+  }
+  for (const FlowId id : ids) {
+    EXPECT_NEAR(f.net.flow_rate(id), 25e6 / 8, 10);
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NEAR(f.sim.now().as_seconds(), 2.0, 0.02);
+}
+
+TEST(NetworkDegrade, ScaleAccessorAndValidation) {
+  Fixture f;
+  const NodeId a = f.add(100, 100);
+  EXPECT_EQ(f.net.link_scale(a), 1.0);  // exact: fault-free runs bit-identical
+  f.net.set_link_scale(a, 0.25);
+  EXPECT_EQ(f.net.link_scale(a), 0.25);
+  EXPECT_THROW(f.net.set_link_scale(a, 0.0), Error);
+  EXPECT_THROW(f.net.set_link_scale(a, -0.5), Error);
+}
 
 }  // namespace
 }  // namespace vcmr::net

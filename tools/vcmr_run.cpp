@@ -135,6 +135,15 @@ void report(const vcmr::core::RunOutcome& out) {
                 static_cast<long long>(out.faults.client_crashes),
                 static_cast<long long>(out.faults.uploads_corrupted),
                 static_cast<long long>(out.faults.messages_dropped));
+    const long long correlated = out.faults.groups_downed;
+    const long long degraded = out.faults.links_degraded;
+    const long long traced = out.faults.trace_links_downed;
+    const long long crashes = out.faults.server_crashes;
+    if (correlated + degraded + traced + crashes > 0) {
+      std::printf("                (%lld group, %lld degrade, %lld trace, "
+                  "%lld server crash)\n",
+                  correlated, degraded, traced, crashes);
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bloom.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -18,7 +19,7 @@ common::Logger log_("client");
 }
 
 Client::Client(sim::Simulation& sim, net::Network& net, net::HttpService& http,
-               server::DataServer& data, net::Endpoint scheduler_ep,
+               store::StorageTier& data, net::Endpoint scheduler_ep,
                const db::HostRecord& host_rec, const HostSpec& spec,
                PeerRegistry& registry, net::ConnectionEstablisher* establisher,
                ClientConfig cfg, sim::TraceRecorder* trace)
@@ -155,6 +156,18 @@ void Client::do_rpc() {
   req.mr_capable = cfg_.mr_capable;
   req.serving_endpoint = serve_.endpoint();
   if (cfg_.cache_inputs) req.cached_files = cached_input_names_;
+  if (cfg_.volunteer_store.enabled && cfg_.mr_capable) {
+    // Volunteer replica store: advertise everything we can serve as a Bloom
+    // filter. Serving nothing sends no filter at all, which tells the
+    // scheduler to drop our directory entry (e.g. after a crash).
+    const std::vector<std::string> names = serve_.served_names();
+    if (!names.empty()) {
+      common::BloomFilter filter(cfg_.volunteer_store.filter_bits,
+                                 cfg_.volunteer_store.filter_hashes);
+      for (const std::string& n : names) filter.add(n);
+      req.store_filter = filter.serialize();
+    }
+  }
   int queued = 0;
   for (const auto& [id, t] : tasks_) {
     if (t.state == TaskState::kDownloading || t.state == TaskState::kReady ||
@@ -391,6 +404,22 @@ void Client::start_input_fetch(Task& task, TaskInput& input) {
     return;
   }
 
+  // Another task may already be fetching this very file (parameter sweeps
+  // share one input chunk across every map). BOINC's file model dedups
+  // this — results reference per-project files, so concurrent references
+  // share one transfer — and so do we: park this input as a waiter instead
+  // of opening a duplicate flow that would double both our link load and
+  // the serve point's connection pressure.
+  for (const auto& [other_id, other] : tasks_) {
+    if (other_id == task.assign.result_id) continue;
+    for (const TaskInput& oin : other.inputs) {
+      if (oin.spec.name == input.spec.name && oin.active) {
+        input_waiters_[input.spec.name].push_back(task.assign.result_id);
+        return;
+      }
+    }
+  }
+
   const std::int64_t id = task.assign.result_id;
   const std::string name = input.spec.name;
   input.active = true;
@@ -398,9 +427,32 @@ void Client::start_input_fetch(Task& task, TaskInput& input) {
   const std::size_t span = trace_begin("download", name);
 
   const bool via_peer =
-      cfg_.mr_capable && !input.use_server && !input.spec.peers.empty();
+      cfg_.mr_capable && !input.use_server &&
+      input.next_peer < static_cast<int>(input.spec.peers.size());
   if (via_peer) {
-    const proto::PeerLocation& loc = input.spec.peers.front();
+    const proto::PeerLocation& loc =
+        input.spec.peers[static_cast<std::size_t>(input.next_peer)];
+    if (loc.from_store) {
+      // Volunteer serve point: the Bloom advert may have been a false
+      // positive, so probe once and treat any failure as a cheap miss —
+      // input_failed redirects to the next source.
+      fetcher_.fetch_store(
+          loc.endpoint, name,
+          [this, id, name, span](const mr::FilePayload& p) {
+            trace_end(span);
+            ++stats_.store_fetches;
+            stats_.bytes_downloaded_store += p.size;
+            obs::MetricsRegistry::instance()
+                .counter("store", "tier_egress_bytes", {{"tier", "volunteer"}})
+                .add(p.size);
+            input_done(id, name, p);
+          },
+          [this, id, name, span](const std::string& why) {
+            trace_end(span);
+            input_failed(id, name, why, /*was_peer=*/true);
+          });
+      return;
+    }
     fetcher_.fetch(
         loc.endpoint, name, loc.size,
         [this, id, name, span](const mr::FilePayload& p) {
@@ -440,10 +492,12 @@ void Client::input_done(std::int64_t result_id, const std::string& name,
                         const mr::FilePayload& payload) {
   --downloads_active_;
   local_files_[name] = payload;
-  if (cfg_.cache_inputs && cfg_.mr_capable) {
+  if ((cfg_.cache_inputs || cfg_.volunteer_store.enabled) && cfg_.mr_capable) {
     Task* t = find_task(result_id);
     if (t != nullptr && t->assign.phase == proto::TaskPhase::kMap) {
-      // E15: become a seeder for this input chunk.
+      // E15 / volunteer store: become a serve point for this input chunk.
+      // cached_input_names_ doubles as the withdraw-on-reply exemption list,
+      // so store-offered chunks survive a keep_serving=false reply too.
       serve_.offer(name, payload);
       if (std::find(cached_input_names_.begin(), cached_input_names_.end(),
                     name) == cached_input_names_.end()) {
@@ -462,7 +516,36 @@ void Client::input_done(std::int64_t result_id, const std::string& name,
     }
     check_ready(*t);
   }
+  // Tasks parked on this transfer read the now-local copy.
+  if (const auto w = input_waiters_.find(name); w != input_waiters_.end()) {
+    const std::vector<std::int64_t> waiters = std::move(w->second);
+    input_waiters_.erase(w);
+    for (const std::int64_t wid : waiters) {
+      Task* wt = find_task(wid);
+      if (wt == nullptr) continue;
+      const auto wit = std::find_if(
+          wt->inputs.begin(), wt->inputs.end(),
+          [&](const TaskInput& in) { return in.spec.name == name; });
+      if (wit == wt->inputs.end() || wit->have) continue;
+      wit->have = true;
+      stats_.bytes_read_locally += payload.size;
+      trace_point("local_read", name);
+      check_ready(*wt);
+    }
+  }
   pump_downloads();
+}
+
+void Client::requeue_input_waiters(const std::string& name) {
+  const auto w = input_waiters_.find(name);
+  if (w == input_waiters_.end()) return;
+  const std::vector<std::int64_t> waiters = std::move(w->second);
+  input_waiters_.erase(w);
+  for (const std::int64_t wid : waiters) {
+    Task* wt = find_task(wid);
+    if (wt != nullptr && wt->state == TaskState::kDownloading)
+      download_queue_.emplace_back(wid, name);
+  }
 }
 
 void Client::input_failed(std::int64_t result_id, const std::string& name,
@@ -470,6 +553,8 @@ void Client::input_failed(std::int64_t result_id, const std::string& name,
   --downloads_active_;
   Task* t = find_task(result_id);
   if (t == nullptr || t->state != TaskState::kDownloading) {
+    // The carrier task died mid-transfer; any waiters must fetch themselves.
+    requeue_input_waiters(name);
     pump_downloads();
     return;
   }
@@ -483,8 +568,18 @@ void Client::input_failed(std::int64_t result_id, const std::string& name,
   it->active = false;
 
   if (was_peer) {
-    if (cfg_.report_fetch_failures && !it->spec.peers.empty() &&
-        t->assign.phase == proto::TaskPhase::kReduce) {
+    const std::size_t peer_idx = static_cast<std::size_t>(it->next_peer);
+    const bool from_store =
+        peer_idx < it->spec.peers.size() && it->spec.peers[peer_idx].from_store;
+    if (from_store) {
+      // A volunteer serve point missed: Bloom false positive, chunk
+      // withdrawn, or peer gone. That is a cheap redirect, never a holder
+      // failure — the reduce-side failed_fetch machinery stays out of it.
+      ++stats_.store_misses;
+      obs::MetricsRegistry::instance().counter("client", "store_misses").add();
+      trace_point("store_miss", name);
+    } else if (cfg_.report_fetch_failures && !it->spec.peers.empty() &&
+               t->assign.phase == proto::TaskPhase::kReduce) {
       // The holder is unreachable after all retries: queue a report so the
       // jobtracker can invalidate its locations and re-run the map early.
       // Every other still-missing input registered to the same holder is
@@ -507,7 +602,12 @@ void Client::input_failed(std::int64_t result_id, const std::string& name,
         }
       }
     }
-    if (it->spec.on_server) {
+    ++it->next_peer;
+    if (cfg_.volunteer_store.enabled &&
+        it->next_peer < static_cast<int>(it->spec.peers.size())) {
+      // More advertised sources remain: redirect to the next one.
+      download_queue_.emplace_back(result_id, name);
+    } else if (it->spec.on_server) {
       // §III.C fallback: after n failed attempts, fetch from the server.
       log_.debug(actor_, ": falling back to server for ", name, " (", why, ")");
       ++stats_.server_fallbacks;
@@ -515,6 +615,7 @@ void Client::input_failed(std::int64_t result_id, const std::string& name,
       download_queue_.emplace_back(result_id, name);
     } else {
       fail_task(*t, "peer fetch failed with no server mirror: " + why);
+      requeue_input_waiters(name);
     }
   } else {
     if (--it->server_retries_left > 0) {
@@ -528,6 +629,7 @@ void Client::input_failed(std::int64_t result_id, const std::string& name,
       });
     } else {
       fail_task(*t, "server transfer failed: " + why);
+      requeue_input_waiters(name);
     }
   }
   pump_downloads();
@@ -851,6 +953,7 @@ void Client::crash() {
   // is deliberately not reset here.
   tasks_.clear();
   download_queue_.clear();
+  input_waiters_.clear();
   running_count_ = 0;
   local_files_.clear();
   cached_input_names_.clear();

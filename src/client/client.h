@@ -31,9 +31,9 @@
 #include "net/http.h"
 #include "net/traversal.h"
 #include "proto/messages.h"
-#include "server/data_server.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
+#include "store/store.h"
 
 namespace vcmr::client {
 
@@ -93,6 +93,14 @@ struct ClientConfig {
   /// Report exhausted peer fetches `(job, map_index, holder)` on the next
   /// scheduler RPC (report_fetch_failures).
   bool report_fetch_failures = false;
+
+  // --- volunteer replica store (matches the project's volunteer_store) --------
+  /// When enabled, every scheduler RPC advertises the files this client can
+  /// serve as a Bloom filter (geometry below), downloaded map input chunks
+  /// are offered to the inter-client server, and assigned tasks walk their
+  /// peer list — volunteer serve points first, project shard as the final
+  /// fallback — treating a store miss as a cheap redirect.
+  store::VolunteerStoreConfig volunteer_store;
 };
 
 struct ClientStats {
@@ -104,6 +112,9 @@ struct ClientStats {
   std::int64_t results_reported = 0;
   std::int64_t backoffs = 0;
   std::int64_t server_fallbacks = 0;  ///< peer fetch → server fallback
+  std::int64_t store_fetches = 0;     ///< chunks served by volunteer peers
+  std::int64_t store_misses = 0;      ///< Bloom false positives / lost chunks
+  Bytes bytes_downloaded_store = 0;   ///< chunk bytes from volunteer peers
   Bytes bytes_downloaded_server = 0;
   Bytes bytes_uploaded_server = 0;
   Bytes bytes_read_locally = 0;  ///< reduce inputs already on local disk
@@ -112,7 +123,7 @@ struct ClientStats {
 class Client {
  public:
   Client(sim::Simulation& sim, net::Network& net, net::HttpService& http,
-         server::DataServer& data, net::Endpoint scheduler_ep,
+         store::StorageTier& data, net::Endpoint scheduler_ep,
          const db::HostRecord& host_rec, const HostSpec& spec,
          PeerRegistry& registry, net::ConnectionEstablisher* establisher,
          ClientConfig cfg = {}, sim::TraceRecorder* trace = nullptr);
@@ -171,6 +182,9 @@ class Client {
     bool active = false;  ///< a fetch is in flight
     int server_retries_left = 0;
     bool use_server = false;  ///< forced fallback
+    /// Next entry of spec.peers to try; with the volunteer store enabled a
+    /// failed source redirects here instead of straight to the server.
+    int next_peer = 0;
   };
 
   struct Task {
@@ -210,6 +224,9 @@ class Client {
   void apply_location_update(const proto::LocationUpdate& upd);
   void pump_downloads();
   void start_input_fetch(Task& task, TaskInput& input);
+  /// The in-flight download of `name` failed for good (or its task died):
+  /// waiters re-enter the queue so one of them becomes the new carrier.
+  void requeue_input_waiters(const std::string& name);
   void input_done(std::int64_t result_id, const std::string& name,
                   const mr::FilePayload& payload);
   void input_failed(std::int64_t result_id, const std::string& name,
@@ -239,7 +256,7 @@ class Client {
   sim::Simulation& sim_;
   net::Network& net_;
   net::HttpService& http_;
-  server::DataServer& data_;
+  store::StorageTier& data_;
   net::Endpoint scheduler_ep_;
   HostId host_id_;
   NodeId node_;
@@ -269,6 +286,12 @@ class Client {
 
   std::map<std::int64_t, Task> tasks_;  ///< by result id; ordered for determinism
   std::deque<std::pair<std::int64_t, std::string>> download_queue_;
+  /// Transfer dedup (BOINC's file model: results reference shared files, so
+  /// two tasks needing the same input share one transfer): file name → the
+  /// result ids waiting on another task's in-flight download of that file.
+  /// Satisfied from local disk when the carrier lands; re-queued as normal
+  /// downloads if the carrier fails for good.
+  std::map<std::string, std::vector<std::int64_t>> input_waiters_;
   int downloads_active_ = 0;
   int running_count_ = 0;  ///< tasks executing now (≤ spec_.cores)
   std::map<std::string, mr::FilePayload> local_files_;

@@ -157,6 +157,62 @@ void PeerFetcher::fetch(net::Endpoint ep, const std::string& name, Bytes size,
   attempt(ep, name, cfg_.max_attempts, std::move(on_done), std::move(on_fail));
 }
 
+void PeerFetcher::fetch_store(
+    net::Endpoint ep, const std::string& name,
+    std::function<void(const mr::FilePayload&)> on_done,
+    std::function<void(std::string)> on_miss) {
+  ++stats_.attempts;
+  ic_counter("fetch_attempts").add();
+
+  auto miss = [this, name, on_miss](const std::string& why) {
+    ++stats_.store_misses;
+    ic_counter("store_misses").add();
+    log_.debug("store fetch of ", name, " missed (", why, ")");
+    if (on_miss) on_miss(why);
+  };
+
+  auto transfer = [this, ep, name, on_done,
+                   miss](std::optional<NodeId> relay) {
+    MapOutputServer* server = registry_.find(ep);
+    if (server == nullptr) {
+      miss("no listener at " + ep.str());
+      return;
+    }
+    if (relay) ++stats_.relayed;
+    const bool accepted = server->start_serving(
+        node_, name, relay,
+        [this, on_done](const mr::FilePayload& p) {
+          ++stats_.fetches_ok;
+          stats_.bytes_fetched += p.size;
+          ic_counter("fetch_ok").add();
+          ic_counter("bytes_fetched").add(p.size);
+          if (on_done) on_done(p);
+        },
+        [miss](net::NetError err) { miss(net::to_string(err)); });
+    if (!accepted) miss("peer refused (busy or chunk withdrawn)");
+  };
+
+  if (establisher_ == nullptr) {
+    // Even a dead probe costs a handshake RTT before it comes back empty.
+    if (!net_.online(ep.node)) {
+      sim_.after(net_.rtt(node_, ep.node), [miss] { miss("peer offline"); });
+      return;
+    }
+    sim_.after(net_.rtt(node_, ep.node),
+               [transfer] { transfer(std::nullopt); });
+    return;
+  }
+
+  establisher_->establish(node_, ep.node,
+                          [transfer, miss](net::ConnectResult r) {
+                            if (!r.ok()) {
+                              miss("connection establishment failed");
+                              return;
+                            }
+                            transfer(r.relay);
+                          });
+}
+
 void PeerFetcher::attempt(net::Endpoint ep, std::string name, int tries_left,
                           std::function<void(const mr::FilePayload&)> on_done,
                           std::function<void(std::string)> on_fail) {

@@ -129,6 +129,7 @@ struct PeerFetchStats {
   std::int64_t fetches_failed = 0;   ///< exhausted attempts
   std::int64_t attempts = 0;
   std::int64_t relayed = 0;
+  std::int64_t store_misses = 0;     ///< single-probe store fetches that missed
   Bytes bytes_fetched = 0;
 };
 
@@ -145,6 +146,14 @@ class PeerFetcher {
   void fetch(net::Endpoint ep, const std::string& name, Bytes size,
              std::function<void(const mr::FilePayload&)> on_done,
              std::function<void(std::string)> on_fail);
+
+  /// Volunteer-store variant: one probe, no retries. A peer that matched a
+  /// Bloom advert but cannot serve the chunk (false positive, withdrawn
+  /// file, busy, offline) is a *miss*, reported via on_miss after at most a
+  /// handshake RTT so the caller can redirect to its next source cheaply.
+  void fetch_store(net::Endpoint ep, const std::string& name,
+                   std::function<void(const mr::FilePayload&)> on_done,
+                   std::function<void(std::string)> on_miss);
 
   const PeerFetchStats& stats() const { return stats_; }
 

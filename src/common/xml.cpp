@@ -193,9 +193,19 @@ class Parser {
     return out;
   }
 
+  /// 1-based line of the current position. pos_ only moves forward, so the
+  /// newline count is maintained incrementally (amortized O(input size)).
+  int current_line() {
+    for (; counted_pos_ < pos_; ++counted_pos_)
+      if (in_[counted_pos_] == '\n') ++line_;
+    return line_;
+  }
+
   std::unique_ptr<XmlNode> parse_element() {
     if (!consume("<")) fail("expected '<'");
+    const int open_line = current_line();
     auto node = std::make_unique<XmlNode>(parse_name());
+    node->set_line(open_line);
     // attributes
     for (;;) {
       skip_ws();
@@ -242,6 +252,8 @@ class Parser {
 
   std::string_view in_;
   std::size_t pos_ = 0;
+  std::size_t counted_pos_ = 0;
+  int line_ = 1;
 };
 
 }  // namespace

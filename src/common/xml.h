@@ -22,6 +22,11 @@ class XmlNode {
 
   const std::string& name() const { return name_; }
 
+  /// 1-based source line of the element's open tag when the node came from
+  /// xml_parse(); 0 for programmatically built nodes.
+  int line() const { return line_; }
+  void set_line(int line) { line_ = line; }
+
   /// Element text with surrounding whitespace trimmed.
   std::string text() const;
   void set_text(std::string text) { text_ = std::move(text); }
@@ -56,6 +61,7 @@ class XmlNode {
 
  private:
   std::string name_;
+  int line_ = 0;
   std::string text_;
   std::map<std::string, std::string> attrs_;
   std::vector<std::unique_ptr<XmlNode>> children_;

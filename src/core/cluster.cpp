@@ -17,6 +17,8 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
   require(scenario_.n_nodes >= 1, "Scenario: need at least one node");
   require(scenario_.n_maps >= 1 && scenario_.n_reducers >= 1,
           "Scenario: need at least one map and one reducer");
+  require(scenario_.data_servers.n_shards >= 1,
+          "Scenario: need at least one data server shard");
 
   sim_ = std::make_unique<sim::Simulation>(scenario_.seed);
   net_ = std::make_unique<net::Network>(*sim_);
@@ -93,6 +95,7 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
     ccfg.cache_inputs = scenario_.project.peer_input_distribution;
     ccfg.report_known_results = scenario_.project.resend_lost_results;
     ccfg.report_fetch_failures = scenario_.project.report_fetch_failures;
+    ccfg.volunteer_store = scenario_.project.volunteer_store;
     ccfg.report_results_immediately =
         scenario_.client.report_results_immediately;
     if (i < static_cast<int>(scenario_.error_probabilities.size())) {
@@ -119,10 +122,23 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
     }
 
     clients_.push_back(std::make_unique<client::Client>(
-        *sim_, *net_, *http_, project_->data_server(),
+        *sim_, *net_, *http_, project_->storage(),
         project_->scheduler_endpoint(), hrec, spec, registry_,
         establisher_.get(), ccfg,
         scenario_.record_trace ? &trace_ : nullptr));
+  }
+
+  // Extra storage shards: project infrastructure on the server's link
+  // profile. Appended after the volunteer nodes so that single-shard
+  // scenarios stay bit-identical to the historical single-server runs.
+  for (int s = 1; s < scenario_.data_servers.n_shards; ++s) {
+    net::NodeConfig scfg;
+    scfg.up_bps = scenario_.server_up_bps;
+    scfg.down_bps = scenario_.server_down_bps;
+    scfg.latency = scenario_.server_latency;
+    scfg.name = "shard" + std::to_string(s);
+    shard_nodes_.push_back(net_->add_node(scfg));
+    project_->storage().add_shard(shard_nodes_.back());
   }
 
   if (scenario_.record_trace) project_->scheduler().set_trace(&trace_);
@@ -158,8 +174,8 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
             clients_[static_cast<std::size_t>(h)]->node(), cls);
       }
     };
-    hooks.set_data_server = [this](bool up) {
-      project_->data_server().set_available(up);
+    hooks.set_data_server = [this](int shard, bool up) {
+      project_->storage().set_available(shard, up);
     };
     hooks.crash_client = [this](int host) {
       clients_[static_cast<std::size_t>(host)]->crash();
@@ -257,6 +273,9 @@ std::vector<RunOutcome> Cluster::run_jobs(
       out.peer_fetch_attempts += c->peer_stats().attempts;
       out.interclient_bytes += c->peer_stats().bytes_fetched;
       out.local_read_bytes += c->stats().bytes_read_locally;
+      out.store_bytes += c->stats().bytes_downloaded_store;
+      out.store_fetches += c->stats().store_fetches;
+      out.store_misses += c->stats().store_misses;
     }
     if (establisher_) out.traversal = establisher_->stats();
     if (injector_) out.faults = injector_->stats();
@@ -294,7 +313,7 @@ std::vector<mr::KeyValue> Cluster::collect_output(MrJobId job) const {
   std::vector<mr::KeyValue> out;
   for (const std::string& name :
        project_->jobtracker().output_file_names(job)) {
-    const mr::FilePayload* p = project_->data_server().payload(name);
+    const mr::FilePayload* p = project_->storage().payload(name);
     require(p != nullptr, "collect_output: reduce output not on data server");
     if (!p->materialised()) continue;
     auto kvs = mr::parse_kvs(*p->content);

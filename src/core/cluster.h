@@ -58,6 +58,13 @@ struct Scenario {
   double server_down_bps = 100e6 / 8;
   SimTime server_latency = SimTime::millis(1);
 
+  // --- storage tier (vcmr::store) -----------------------------------------------
+  /// Sharded project data servers. n_shards == 1 (default) is the historical
+  /// single server on the server node; extra shards get their own nodes with
+  /// the server link profile, appended *after* the volunteer nodes so
+  /// single-shard scenarios keep every node id unchanged.
+  store::StorageTierConfig data_servers;
+
   // --- optional machinery -------------------------------------------------------
   bool use_traversal = false;           ///< NAT tier ladder (§III.D)
   net::TraversalPolicy traversal;
@@ -93,6 +100,10 @@ struct RunOutcome {
   std::int64_t backoffs = 0;
   std::int64_t server_fallbacks = 0;
   std::int64_t peer_fetch_attempts = 0;
+  // Volunteer replica store (vcmr::store).
+  Bytes store_bytes = 0;            ///< chunk bytes served by volunteers
+  std::int64_t store_fetches = 0;   ///< chunk fetches served by volunteers
+  std::int64_t store_misses = 0;    ///< Bloom false positives / lost chunks
   // Fast lost-work recovery (resend_lost_results / report_fetch_failures).
   std::int64_t results_lost = 0;      ///< reconciled away after client crashes
   std::int64_t fetch_failures_reported = 0;
@@ -129,6 +140,8 @@ class Cluster {
   std::size_t n_clients() const { return clients_.size(); }
   sim::TraceRecorder& trace() { return trace_; }
   NodeId server_node() const { return server_node_; }
+  /// Nodes of the extra storage shards (empty with a single-shard tier).
+  const std::vector<NodeId>& shard_nodes() const { return shard_nodes_; }
   const Scenario& scenario() const { return scenario_; }
   net::ConnectionEstablisher* establisher() { return establisher_.get(); }
   net::SupernodeOverlay* overlay() { return overlay_.get(); }
@@ -145,6 +158,7 @@ class Cluster {
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<net::HttpService> http_;
   NodeId server_node_;
+  std::vector<NodeId> shard_nodes_;  ///< extra storage shards (index 1..N-1)
   std::unique_ptr<server::Project> project_;
   std::unique_ptr<net::ConnectionEstablisher> establisher_;
   std::unique_ptr<net::SupernodeOverlay> overlay_;

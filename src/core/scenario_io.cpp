@@ -100,6 +100,65 @@ Scenario scenario_from_xml(const std::string& xml) {
         c->child_i64("peer_fetch_attempts", cfg.peer_fetch.max_attempts));
   }
 
+  // Storage-tier blocks carry line-numbered validation errors (the trace
+  // loader's style): a bad value points at the element that holds it, or at
+  // the block's open tag when the element is absent.
+  const auto fail_at = [](const XmlNode& block, std::string_view key,
+                          const char* why) {
+    const XmlNode* c = block.child(key);
+    throw Error(common::strprintf("scenario xml line %d: %s",
+                                  c != nullptr ? c->line() : block.line(),
+                                  why));
+  };
+
+  if (const XmlNode* d = root->child("data_servers")) {
+    auto& dc = s.data_servers;
+    dc.n_shards = static_cast<int>(d->child_i64("shards", dc.n_shards));
+    if (dc.n_shards < 1) {
+      fail_at(*d, "shards", "<data_servers><shards> must be >= 1");
+    }
+  }
+
+  if (const XmlNode* v = root->child("volunteer_store")) {
+    auto& vc = s.project.volunteer_store;
+    vc.enabled = v->child_i64("enabled", vc.enabled ? 1 : 0) != 0;
+    vc.filter_bits =
+        static_cast<int>(v->child_i64("filter_bits", vc.filter_bits));
+    vc.filter_hashes =
+        static_cast<int>(v->child_i64("filter_hashes", vc.filter_hashes));
+    vc.max_store_peers =
+        static_cast<int>(v->child_i64("max_store_peers", vc.max_store_peers));
+    vc.advert_ttl = SimTime::seconds(
+        v->child_double("advert_ttl_s", vc.advert_ttl.as_seconds()));
+    vc.dispatch_gate_width = static_cast<int>(
+        v->child_i64("dispatch_gate_width", vc.dispatch_gate_width));
+    vc.dispatch_max_skips = static_cast<int>(
+        v->child_i64("dispatch_max_skips", vc.dispatch_max_skips));
+    if (vc.filter_bits < 8) {
+      fail_at(*v, "filter_bits", "<volunteer_store><filter_bits> must be >= 8");
+    }
+    if (vc.filter_hashes < 1) {
+      fail_at(*v, "filter_hashes",
+              "<volunteer_store><filter_hashes> must be >= 1");
+    }
+    if (vc.max_store_peers < 1) {
+      fail_at(*v, "max_store_peers",
+              "<volunteer_store><max_store_peers> must be >= 1");
+    }
+    if (!(vc.advert_ttl > SimTime::zero())) {
+      fail_at(*v, "advert_ttl_s",
+              "<volunteer_store><advert_ttl_s> must be positive");
+    }
+    if (vc.dispatch_gate_width < 1) {
+      fail_at(*v, "dispatch_gate_width",
+              "<volunteer_store><dispatch_gate_width> must be >= 1");
+    }
+    if (vc.dispatch_max_skips < 0) {
+      fail_at(*v, "dispatch_max_skips",
+              "<volunteer_store><dispatch_max_skips> must be >= 0");
+    }
+  }
+
   if (const XmlNode* l = root->child("server_link")) {
     s.server_up_bps = l->child_double("up_mbps", 100) * 1e6 / 8;
     s.server_down_bps = l->child_double("down_mbps", 100) * 1e6 / 8;
@@ -173,6 +232,9 @@ Scenario scenario_from_xml(const std::string& xml) {
       fault::ServerOutage x;
       x.down_at = SimTime::seconds(o->child_double("down_s", 0));
       x.up_at = when(*o, "up_s");
+      // Optional shard index; absent (-1) downs the whole tier, which is
+      // the historical single-data-server outage.
+      x.shard = static_cast<int>(o->child_i64("shard", x.shard));
       s.faults.server_outages.push_back(x);
     }
     for (const XmlNode* c : f->children("crash")) {
@@ -308,6 +370,22 @@ std::string scenario_to_xml(const Scenario& s) {
   c.add_child_text("peer_fetch_attempts",
                    std::to_string(s.client.peer_fetch.max_attempts));
 
+  XmlNode& ds = root.add_child("data_servers");
+  ds.add_child_text("shards", std::to_string(s.data_servers.n_shards));
+
+  const auto& vc = s.project.volunteer_store;
+  XmlNode& vs = root.add_child("volunteer_store");
+  vs.add_child_text("enabled", vc.enabled ? "1" : "0");
+  vs.add_child_text("filter_bits", std::to_string(vc.filter_bits));
+  vs.add_child_text("filter_hashes", std::to_string(vc.filter_hashes));
+  vs.add_child_text("max_store_peers", std::to_string(vc.max_store_peers));
+  vs.add_child_text("advert_ttl_s",
+                    common::strprintf("%.0f", vc.advert_ttl.as_seconds()));
+  vs.add_child_text("dispatch_gate_width",
+                    std::to_string(vc.dispatch_gate_width));
+  vs.add_child_text("dispatch_max_skips",
+                    std::to_string(vc.dispatch_max_skips));
+
   XmlNode& l = root.add_child("server_link");
   l.add_child_text("up_mbps",
                    common::strprintf("%.3f", s.server_up_bps * 8 / 1e6));
@@ -375,6 +453,7 @@ std::string scenario_to_xml(const Scenario& s) {
       if (o.up_at < SimTime::infinity()) {
         n.add_child_text("up_s", secs(o.up_at));
       }
+      if (o.shard >= 0) n.add_child_text("shard", std::to_string(o.shard));
     }
     for (const auto& c : s.faults.crashes) {
       XmlNode& n = f.add_child("crash");

@@ -117,6 +117,7 @@ Injector::Injector(sim::Simulation& sim, FaultPlan plan, Hooks hooks,
   }
   for (const auto& o : plan_.server_outages) {
     require(o.up_at > o.down_at, "FaultPlan: server_outage up_at <= down_at");
+    require(o.shard >= -1, "FaultPlan: server_outage shard must be >= -1");
   }
   for (const auto& c : plan_.crashes) {
     check_host(c.host, "crash");
@@ -286,16 +287,19 @@ void Injector::arm() {
   }
 
   for (const auto& o : plan_.server_outages) {
-    sim_.at(o.down_at, [this] {
+    const int shard = o.shard;
+    const std::string what =
+        shard < 0 ? "data server" : "data shard " + std::to_string(shard);
+    sim_.at(o.down_at, [this, shard, what] {
       ++stats_.server_outages;
-      record("server_down", "data server");
-      if (hooks_.set_data_server) hooks_.set_data_server(false);
+      record("server_down", what);
+      if (hooks_.set_data_server) hooks_.set_data_server(shard, false);
     });
     if (o.up_at < SimTime::infinity()) {
-      sim_.at(o.up_at, [this] {
+      sim_.at(o.up_at, [this, shard, what] {
         ++stats_.server_restarts;
-        record("server_up", "data server");
-        if (hooks_.set_data_server) hooks_.set_data_server(true);
+        record("server_up", what);
+        if (hooks_.set_data_server) hooks_.set_data_server(shard, true);
       });
     }
   }

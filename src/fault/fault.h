@@ -91,6 +91,9 @@ struct Partition {
 struct ServerOutage {
   SimTime down_at;
   SimTime up_at = SimTime::infinity();
+  /// Which storage-tier shard goes dark; -1 (the default) downs every
+  /// shard — the historical single-data-server outage.
+  int shard = -1;
 };
 
 /// The client process dies: in-flight task state, downloaded inputs, and
@@ -200,8 +203,8 @@ struct Hooks {
   std::function<void(int host, bool up)> set_link;
   /// Place the hosts into partition class `cls` (0 = rejoin the main net).
   std::function<void(const std::vector<int>& hosts, int cls)> set_partition;
-  /// Data-server availability.
-  std::function<void(bool up)> set_data_server;
+  /// Data-server availability; `shard` -1 = the whole tier, else one shard.
+  std::function<void(int shard, bool up)> set_data_server;
   std::function<void(int host)> crash_client;
   std::function<void(int host)> restart_client;
   /// Scale host `i`'s access-link capacity (both directions); 1.0 restores

@@ -86,7 +86,10 @@ std::string metrics_json(const MetricsRegistry& registry) {
                     json_array(h.buckets(),
                                [](std::int64_t n) { return std::to_string(n); }))
         .field("count", h.count())
-        .field("sum", h.sum());
+        .field("sum", h.sum())
+        .field_json("p50", number(h.quantile(0.50)))
+        .field_json("p95", number(h.quantile(0.95)))
+        .field_json("p99", number(h.quantile(0.99)));
     histograms += w.str();
   }
   histograms += "]";

@@ -29,6 +29,29 @@ void Histogram::observe(double x) {
   sum_ += x;
 }
 
+double Histogram::quantile(double q) const {
+  require(q >= 0 && q <= 1, "Histogram::quantile: q must be in [0,1]");
+  if (count_ == 0) return 0;
+  const double rank = q * static_cast<double>(count_);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds_.size()) {
+      // Overflow bucket: no upper edge, clamp to its lower bound.
+      return bounds_.empty() ? 0 : bounds_.back();
+    }
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? 0 : bounds_[i - 1];
+    const std::int64_t in_bucket = buckets_[i];
+    if (in_bucket == 0) return upper;
+    const double before = static_cast<double>(cumulative - in_bucket);
+    const double frac = (rank - before) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * frac;
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
 MetricsRegistry*& MetricsRegistry::current() {
   static MetricsRegistry root;
   static MetricsRegistry* cur = &root;

@@ -66,6 +66,12 @@ class Histogram {
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   const std::vector<std::int64_t>& buckets() const { return buckets_; }
 
+  /// Prometheus-style quantile estimate (q in [0,1]): find the bucket where
+  /// the cumulative count crosses q*count and interpolate linearly inside
+  /// it. Returns 0 with no observations; the overflow bucket clamps to its
+  /// lower bound (there is no upper edge to interpolate towards).
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::int64_t> buckets_;

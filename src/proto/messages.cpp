@@ -51,6 +51,7 @@ void put_peer(XmlNode& parent, const PeerLocation& p) {
   put_i64(n, "holder_host", p.holder_host);
   put_endpoint(n, "endpoint", p.endpoint);
   put_i64(n, "on_server", p.on_server ? 1 : 0);
+  if (p.from_store) put_i64(n, "from_store", 1);
 }
 PeerLocation get_peer(const XmlNode& n) {
   PeerLocation p;
@@ -60,6 +61,7 @@ PeerLocation get_peer(const XmlNode& n) {
   p.holder_host = n.child_i64("holder_host");
   p.endpoint = get_endpoint(n, "endpoint");
   p.on_server = n.child_i64("on_server") != 0;
+  p.from_store = n.child_i64("from_store", 0) != 0;
   return p;
 }
 
@@ -83,6 +85,9 @@ std::string to_xml(const SchedulerRequest& req) {
     for (const std::int64_t id : req.known_results) {
       put_i64(kn, "id", id);
     }
+  }
+  if (!req.store_filter.empty()) {
+    root.add_child_text("store_filter", req.store_filter);
   }
   for (const auto& ff : req.failed_fetches) {
     XmlNode& n = root.add_child("failed_fetch");
@@ -132,6 +137,7 @@ SchedulerRequest request_from_xml(const std::string& xml) {
       req.known_results.push_back(v);
     }
   }
+  req.store_filter = root->child_text("store_filter");
   for (const XmlNode* fn : root->children("failed_fetch")) {
     FetchFailureReport ff;
     ff.job_id = fn->child_i64("job_id", -1);

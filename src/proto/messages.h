@@ -77,6 +77,11 @@ struct SchedulerRequest {
   /// Exhausted peer fetches since the last delivered RPC (only serialized
   /// when non-empty).
   std::vector<FetchFailureReport> failed_fetches;
+  /// Volunteer replica store advert: Bloom filter (common::BloomFilter
+  /// serialize() encoding) of the chunk names this client is serving. Only
+  /// serialized when non-empty, so clients without the store enabled send
+  /// unchanged request bytes.
+  std::string store_filter;
 };
 
 /// Where a reduce input can be fetched from.
@@ -87,6 +92,11 @@ struct PeerLocation {
   std::int64_t holder_host = -1;
   net::Endpoint endpoint;
   bool on_server = false;  ///< also mirrored on the project data server
+  /// Volunteer-replica-store serve point: membership came from a Bloom
+  /// filter, so the holder may turn out not to have the chunk — fetch
+  /// misses redirect to the next source instead of counting as holder
+  /// failures. Only serialized when true.
+  bool from_store = false;
 };
 
 struct InputFileSpec {

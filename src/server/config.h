@@ -8,6 +8,7 @@
 
 #include "common/types.h"
 #include "reputation/reputation.h"
+#include "store/store.h"
 
 namespace vcmr::server {
 
@@ -99,6 +100,11 @@ struct ProjectConfig {
   bool peer_input_distribution = false;
   /// Max cacher endpoints attached per input file.
   int max_input_peers = 3;
+  /// Volunteer replica store (vcmr::store): clients advertise the chunks
+  /// they serve via Bloom filters; the scheduler attaches trusted serve
+  /// points to assignments and gates chunk dispatch on replica existence.
+  /// Default-off: no extra wire bytes, golden traces bit-identical.
+  store::VolunteerStoreConfig volunteer_store;
 };
 
 /// Parses the `<mr_jobtracker>` document; unknown fields keep defaults.

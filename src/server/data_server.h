@@ -1,83 +1,13 @@
 #pragma once
-// The project data server.
-//
-// BOINC projects stage input files on HTTP data servers and receive output
-// uploads there (§III.B: "All map input data are saved on the project's
-// data servers"). DataServer owns the payload store and serves it through
-// HttpService, so every download and upload contends for the server node's
-// access link — the bottleneck the paper's inter-client transfers exist to
-// relieve.
+// The project data server moved into the storage tier (vcmr::store) when
+// deployments grew from one data server to N shards plus a volunteer
+// replica store. This forwarding header keeps the historical
+// vcmr::server::DataServer spelling working for existing includes.
 
-#include <functional>
-#include <map>
-#include <string>
-
-#include "mr/dataset.h"
-#include "net/http.h"
+#include "store/data_server.h"
 
 namespace vcmr::server {
 
-class DataServer {
- public:
-  DataServer(net::HttpService& http, NodeId node, int port = 80);
-  ~DataServer();
-
-  DataServer(const DataServer&) = delete;
-  DataServer& operator=(const DataServer&) = delete;
-
-  net::Endpoint endpoint() const { return ep_; }
-
-  /// Registers a file for download.
-  void stage(const std::string& name, mr::FilePayload payload);
-  bool has(const std::string& name) const { return store_.count(name) > 0; }
-  /// nullptr when absent.
-  const mr::FilePayload* payload(const std::string& name) const;
-  std::size_t file_count() const { return store_.size(); }
-
-  // --- client-side helpers (model libcurl against this server) -------------
-  /// GET: transfers the file's bytes to `client`; delivers the payload.
-  void download(NodeId client, const std::string& name,
-                std::function<void(const mr::FilePayload&)> on_done,
-                std::function<void(std::string)> on_fail,
-                net::FlowPriority priority = net::FlowPriority::kForeground);
-
-  /// POST: transfers the payload's bytes from `client` and stages it.
-  void upload(NodeId client, const std::string& name, mr::FilePayload payload,
-              std::function<void()> on_done,
-              std::function<void(std::string)> on_fail,
-              net::FlowPriority priority = net::FlowPriority::kForeground);
-
-  /// Hook invoked after each successful upload (JobTracker timing).
-  void set_upload_listener(
-      std::function<void(const std::string& name)> listener) {
-    upload_listener_ = std::move(listener);
-  }
-
-  /// Fault injection: while unavailable the server answers every download
-  /// and upload with 503 (clients retry under their transfer policies); the
-  /// staged files survive the outage, as a restarted file server's disk
-  /// would.
-  void set_available(bool up) { available_ = up; }
-  bool available() const { return available_; }
-  /// Requests refused while unavailable.
-  std::int64_t rejected_unavailable() const { return rejected_unavailable_; }
-
-  Bytes bytes_served() const { return bytes_served_; }
-  Bytes bytes_ingested() const { return bytes_ingested_; }
-  std::int64_t downloads() const { return downloads_; }
-  std::int64_t uploads() const { return uploads_; }
-
- private:
-  net::HttpService& http_;
-  net::Endpoint ep_;
-  std::map<std::string, mr::FilePayload> store_;
-  std::function<void(const std::string&)> upload_listener_;
-  bool available_ = true;
-  Bytes bytes_served_ = 0;
-  Bytes bytes_ingested_ = 0;
-  std::int64_t downloads_ = 0;
-  std::int64_t uploads_ = 0;
-  std::int64_t rejected_unavailable_ = 0;
-};
+using DataServer = store::DataServer;
 
 }  // namespace vcmr::server

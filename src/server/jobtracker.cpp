@@ -14,7 +14,7 @@ common::Logger log_("jobtracker");
 }
 
 JobTracker::JobTracker(sim::Simulation& sim, db::Database& db,
-                       DataServer& data, const ProjectConfig& cfg)
+                       store::StorageTier& data, const ProjectConfig& cfg)
     : sim_(sim), db_(db), data_(data), cfg_(cfg) {}
 
 std::string JobTracker::map_input_name(const std::string& job, int map_index) {

@@ -19,8 +19,8 @@
 #include "mr/app.h"
 #include "proto/messages.h"
 #include "server/config.h"
-#include "server/data_server.h"
 #include "sim/simulation.h"
+#include "store/store.h"
 
 namespace vcmr::server {
 
@@ -41,7 +41,7 @@ struct MrJobSpec {
 
 class JobTracker {
  public:
-  JobTracker(sim::Simulation& sim, db::Database& db, DataServer& data,
+  JobTracker(sim::Simulation& sim, db::Database& db, store::StorageTier& data,
              const ProjectConfig& cfg);
 
   /// Stages inputs and creates the map work units. Throws on unknown app.
@@ -115,7 +115,7 @@ class JobTracker {
 
   sim::Simulation& sim_;
   db::Database& db_;
-  DataServer& data_;
+  store::StorageTier& data_;
   const ProjectConfig& cfg_;
 
   struct JobRuntime {

@@ -16,6 +16,7 @@
 #include "server/daemon.h"
 #include "server/data_server.h"
 #include "server/feeder.h"
+#include "store/store.h"
 #include "server/jobtracker.h"
 #include "server/scheduler.h"
 #include "server/transitioner.h"
@@ -65,7 +66,11 @@ class Project {
   const db::Database& database() const { return db_; }
   rep::ReputationStore& reputation() { return rep_store_; }
   const rep::ReputationStore& reputation() const { return rep_store_; }
-  DataServer& data_server() { return data_; }
+  /// The storage tier (N sharded data servers; shard 0 on the server node).
+  store::StorageTier& storage() { return data_; }
+  const store::StorageTier& storage() const { return data_; }
+  /// The primary data server — the historical single-server accessor.
+  DataServer& data_server() { return data_.primary(); }
   JobTracker& jobtracker() { return jobtracker_; }
   Scheduler& scheduler() { return scheduler_; }
   const ProjectConfig& config() const { return cfg_; }
@@ -84,7 +89,7 @@ class Project {
   db::Database db_;
   rep::ReputationStore rep_store_;
   rep::AdaptiveReplicationPolicy rep_policy_;
-  DataServer data_;
+  store::StorageTier data_;
   Feeder feeder_;
   Transitioner transitioner_;
   Validator validator_;

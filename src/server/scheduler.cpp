@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bloom.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "obs/event.h"
@@ -66,6 +67,9 @@ void Scheduler::crash() {
   locality_skips_.clear();
   trust_skips_.clear();
   input_cachers_.clear();
+  store_directory_.clear();
+  server_sends_.clear();
+  store_skips_.clear();
 }
 
 proto::SchedulerReply Scheduler::process(const proto::SchedulerRequest& req) {
@@ -74,6 +78,26 @@ proto::SchedulerReply Scheduler::process(const proto::SchedulerRequest& req) {
   const HostId host{req.host_id};
 
   if (cfg_.peer_input_distribution) note_cached_files(host, req.cached_files);
+  if (cfg_.volunteer_store.enabled && req.mr_capable) {
+    // Volunteer replica store: the client advertises "chunks I can serve"
+    // as a Bloom filter. An RPC with no filter means the host serves
+    // nothing any more (fresh start after a crash, or everything
+    // withdrawn) — drop its directory entry rather than serve stale
+    // endpoints.
+    if (!req.store_filter.empty()) {
+      try {
+        store_directory_.update(host,
+                                common::BloomFilter::parse(req.store_filter),
+                                req.serving_endpoint, sim_.now());
+        ++stats_.store_adverts;
+        sched_counter("store_adverts").add();
+      } catch (const Error&) {
+        // Malformed advert: ignore it, keep whatever we knew before.
+      }
+    } else {
+      store_directory_.remove(host);
+    }
+  }
   for (const auto& rep : req.reports) handle_report(host, rep);
   // Reconcile after reports: results reported in this RPC are kOver by now
   // and cannot be misdiagnosed as lost.
@@ -274,6 +298,7 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
   const auto drop_skip_counters = [this](ResultId rid) {
     locality_skips_.erase(rid);
     trust_skips_.erase(rid);
+    store_skips_.erase(rid);
   };
 
   // Snapshot: assignment mutates the cache through feeder_.remove().
@@ -327,6 +352,48 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
 
     if (!apply_trust_policy(r, wu, host)) continue;
 
+    if (cfg_.volunteer_store.enabled && req.mr_capable &&
+        wu.mr_phase == db::MrPhase::kMap) {
+      // Locality-aware chunk dispatch: once a file has gone out
+      // server-sourced dispatch_gate_width times, hold further replicas of
+      // it (bounded by dispatch_max_skips, the delay-scheduling idiom) until
+      // a trusted volunteer advertises the chunk — then the assignment
+      // carries a serve point and the fetch bypasses the project servers.
+      bool wait_for_replica = false;
+      for (const FileId fid : wu.input_files) {
+        const db::FileRecord& f = db_.file(fid);
+        const auto sent = server_sends_.find(f.name);
+        if (sent == server_sends_.end() ||
+            static_cast<int>(sent->second.size()) <
+                cfg_.volunteer_store.dispatch_gate_width) {
+          continue;
+        }
+        // The requester's own advert says it already holds the chunk: it
+        // will read its local copy, so there is nothing to wait for (and no
+        // trust needed — a host always trusts its own cache).
+        if (store_directory_.serves(host, f.name)) continue;
+        if (store_sources(f.name, host, 1).empty()) {
+          wait_for_replica = true;
+          break;
+        }
+      }
+      if (wait_for_replica) {
+        if (store_skips_[rid] < cfg_.volunteer_store.dispatch_max_skips) {
+          ++store_skips_[rid];
+          ++stats_.store_gate_skips;
+          sched_counter("store_gate_skips").add();
+          continue;
+        }
+        // Skip bound exhausted: release this replica server-sourced, but
+        // restart every other gated counter. Sibling replicas burn skips at
+        // the same rate, so without the reset they would all cross the
+        // bound in the same polling wave and fan a download per host off
+        // the project tier; staggered releases give each one's host time
+        // to validate (and so become a trusted serve point) first.
+        store_skips_.clear();
+      }
+    }
+
     if (cfg_.locality_aware_reduce && wu.mr_phase == db::MrPhase::kReduce) {
       // Delay scheduling with a best-holder criterion: every mapper holds
       // one file of each partition, so "holds anything" is vacuous. Hold
@@ -365,7 +432,7 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
     if (wu.mr_phase != db::MrPhase::kNone) {
       jobtracker_.note_assignment(wu.mr_job, wu.mr_phase, sim_.now());
     }
-    reply.tasks.push_back(build_task(r, wu));
+    reply.tasks.push_back(build_task(r, wu, req.mr_capable));
     filled_seconds += wu.flops_est / hrec.flops;
   }
 }
@@ -429,8 +496,20 @@ bool Scheduler::apply_trust_policy(const db::ResultRecord& r,
   return true;
 }
 
+std::vector<store::ReplicaDirectory::Source> Scheduler::store_sources(
+    const std::string& name, HostId except, int max) {
+  return store_directory_.lookup(
+      name, sim_.now(), cfg_.volunteer_store.advert_ttl, except, max,
+      [this](HostId h) {
+        // Reputation gate: only hosts the adaptive-replication store trusts
+        // may serve data to other volunteers.
+        return policy_ == nullptr || policy_->store().is_trusted(h);
+      });
+}
+
 proto::AssignedTask Scheduler::build_task(const db::ResultRecord& r,
-                                          const db::WorkUnitRecord& wu) {
+                                          const db::WorkUnitRecord& wu,
+                                          bool mr_capable) {
   proto::AssignedTask t;
   t.result_id = r.id.value();
   t.result_name = r.name;
@@ -500,6 +579,29 @@ proto::AssignedTask Scheduler::build_task(const db::ResultRecord& r,
             ++stats_.input_peers_attached;
           }
         }
+      }
+      if (cfg_.volunteer_store.enabled) {
+        if (mr_capable) {
+          // Volunteer serve points for this chunk: Bloom membership may be
+          // a false positive, so the client treats a miss as a cheap
+          // redirect (next peer, then the project shard), never a holder
+          // failure.
+          for (const auto& src : store_sources(
+                   f.name, r.host, cfg_.volunteer_store.max_store_peers)) {
+            proto::PeerLocation p;
+            p.map_index = wu.mr_index;
+            p.file_name = f.name;
+            p.size = f.size;
+            p.holder_host = src.host.value();
+            p.endpoint = src.endpoint;
+            p.on_server = f.on_server;
+            p.from_store = true;
+            in.peers.push_back(std::move(p));
+            ++stats_.store_peers_attached;
+            sched_counter("store_peers_attached").add();
+          }
+        }
+        if (in.peers.empty()) server_sends_[f.name].insert(r.host);
       }
       t.inputs.push_back(std::move(in));
     }

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 
 #include "db/database.h"
 #include "net/http.h"
@@ -20,6 +21,7 @@
 #include "server/jobtracker.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
+#include "store/store.h"
 
 namespace vcmr::server {
 
@@ -44,6 +46,11 @@ struct SchedulerStats {
   std::int64_t fetch_failures_reported = 0;  ///< failed-fetch reports received
   std::int64_t fetch_failures_ignored = 0;   ///< stale or server-mirrored
   std::int64_t maps_invalidated = 0;  ///< map WUs re-issued early
+
+  // Volunteer replica store (vcmr::store).
+  std::int64_t store_adverts = 0;         ///< Bloom adverts received
+  std::int64_t store_peers_attached = 0;  ///< serve points handed out
+  std::int64_t store_gate_skips = 0;      ///< dispatches deferred for a replica
 };
 
 class Scheduler {
@@ -90,8 +97,13 @@ class Scheduler {
   void assign_work(const proto::SchedulerRequest& req,
                    proto::SchedulerReply& reply);
   proto::AssignedTask build_task(const db::ResultRecord& r,
-                                 const db::WorkUnitRecord& wu);
+                                 const db::WorkUnitRecord& wu,
+                                 bool mr_capable);
   void note_cached_files(HostId host, const std::vector<std::string>& files);
+  /// Volunteer replica store: trusted serve points for `name` (reputation-
+  /// gated directory lookup), excluding the requester.
+  std::vector<store::ReplicaDirectory::Source> store_sources(
+      const std::string& name, HostId except, int max);
   bool host_may_be_needed(HostId host) const;
   /// Adaptive-replication gate for one candidate (result, host) pair.
   /// Returns false to defer the result for a trusted host; may escalate the
@@ -114,6 +126,16 @@ class Scheduler {
   std::map<ResultId, int> trust_skips_;     ///< trusted-host deferral counters
   /// Peer-assisted input distribution: file name -> hosts serving it.
   std::map<std::string, std::vector<HostId>> input_cachers_;
+  /// Volunteer replica store: Bloom adverts by host (soft state, like the
+  /// maps above — dies with the CGI on crash()).
+  store::ReplicaDirectory store_directory_;
+  /// Locality-aware chunk dispatch: per input file, the distinct hosts that
+  /// were sent it with no volunteer serve point attached (server-sourced).
+  /// Distinct hosts, not raw sends: one host taking several work units of
+  /// the same shared chunk downloads it once, so only new hosts widen the
+  /// project tier's exposure.
+  std::map<std::string, std::set<HostId>> server_sends_;
+  std::map<ResultId, int> store_skips_;  ///< gate deferral counters
 };
 
 }  // namespace vcmr::server

@@ -1,9 +1,9 @@
-#include "server/data_server.h"
+#include "store/data_server.h"
 
 #include "common/error.h"
 #include "common/strings.h"
 
-namespace vcmr::server {
+namespace vcmr::store {
 
 DataServer::DataServer(net::HttpService& http, NodeId node, int port)
     : http_(http), ep_{node, port} {
@@ -114,4 +114,4 @@ void DataServer::upload(NodeId client, const std::string& name,
       priority);
 }
 
-}  // namespace vcmr::server
+}  // namespace vcmr::store

@@ -1,0 +1,197 @@
+#include "store/store.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "obs/metrics.h"
+
+namespace vcmr::store {
+
+namespace {
+
+obs::Labels shard_labels(int shard) {
+  return {{"shard", std::to_string(shard)}};
+}
+
+}  // namespace
+
+StorageTier::StorageTier(net::HttpService& http, NodeId primary_node, int port)
+    : http_(http), port_(port) {
+  shards_.push_back(std::make_unique<DataServer>(http_, primary_node, port_));
+}
+
+DataServer& StorageTier::add_shard(NodeId node) {
+  shards_.push_back(std::make_unique<DataServer>(http_, node, port_));
+  if (upload_listener_) shards_.back()->set_upload_listener(upload_listener_);
+  return *shards_.back();
+}
+
+int StorageTier::shard_for(const std::string& name) const {
+  const auto it = placement_.find(name);
+  if (it != placement_.end()) return it->second;
+  if (shards_.size() == 1) return 0;
+  return static_cast<int>(common::fnv1a64(name) % shards_.size());
+}
+
+void StorageTier::stage(const std::string& name, mr::FilePayload payload) {
+  const int s = shard_for(name);
+  placement_[name] = s;
+  shard(s).stage(name, std::move(payload));
+}
+
+bool StorageTier::has(const std::string& name) const {
+  return shard(shard_for(name)).has(name);
+}
+
+const mr::FilePayload* StorageTier::payload(const std::string& name) const {
+  return shard(shard_for(name)).payload(name);
+}
+
+std::size_t StorageTier::file_count() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->file_count();
+  return n;
+}
+
+void StorageTier::download(NodeId client, const std::string& name,
+                           std::function<void(const mr::FilePayload&)> on_done,
+                           std::function<void(std::string)> on_fail,
+                           net::FlowPriority priority) {
+  const int s = shard_for(name);
+  shard(s).download(
+      client, name,
+      [s, on_done = std::move(on_done)](const mr::FilePayload& p) {
+        auto& reg = obs::MetricsRegistry::instance();
+        reg.counter("store", "egress_bytes", shard_labels(s)).add(p.size);
+        reg.counter("store", "tier_egress_bytes", {{"tier", "project"}})
+            .add(p.size);
+        if (on_done) on_done(p);
+      },
+      std::move(on_fail), priority);
+}
+
+void StorageTier::upload(NodeId client, const std::string& name,
+                         mr::FilePayload payload, std::function<void()> on_done,
+                         std::function<void(std::string)> on_fail,
+                         net::FlowPriority priority) {
+  const int s = shard_for(name);
+  placement_[name] = s;
+  const Bytes size = payload.size;
+  shard(s).upload(
+      client, name, std::move(payload),
+      [s, size, on_done = std::move(on_done)]() {
+        auto& reg = obs::MetricsRegistry::instance();
+        reg.counter("store", "ingress_bytes", shard_labels(s)).add(size);
+        reg.counter("store", "tier_ingress_bytes", {{"tier", "project"}})
+            .add(size);
+        if (on_done) on_done();
+      },
+      std::move(on_fail), priority);
+}
+
+void StorageTier::set_upload_listener(
+    std::function<void(const std::string&)> listener) {
+  upload_listener_ = std::move(listener);
+  for (auto& s : shards_) s->set_upload_listener(upload_listener_);
+}
+
+void StorageTier::set_available(int shard_index, bool up) {
+  if (shard_index < 0) {
+    for (auto& s : shards_) s->set_available(up);
+    return;
+  }
+  require(shard_index < n_shards(),
+          "StorageTier::set_available: shard out of range");
+  shard(shard_index).set_available(up);
+}
+
+Bytes StorageTier::bytes_served() const {
+  Bytes n = 0;
+  for (const auto& s : shards_) n += s->bytes_served();
+  return n;
+}
+
+Bytes StorageTier::bytes_ingested() const {
+  Bytes n = 0;
+  for (const auto& s : shards_) n += s->bytes_ingested();
+  return n;
+}
+
+std::int64_t StorageTier::downloads() const {
+  std::int64_t n = 0;
+  for (const auto& s : shards_) n += s->downloads();
+  return n;
+}
+
+std::int64_t StorageTier::uploads() const {
+  std::int64_t n = 0;
+  for (const auto& s : shards_) n += s->uploads();
+  return n;
+}
+
+std::int64_t StorageTier::rejected_unavailable() const {
+  std::int64_t n = 0;
+  for (const auto& s : shards_) n += s->rejected_unavailable();
+  return n;
+}
+
+// --- ReplicaDirectory --------------------------------------------------------
+
+void ReplicaDirectory::update(HostId host, common::BloomFilter filter,
+                              net::Endpoint endpoint, SimTime now) {
+  if (filter.fill_ratio() == 0.0) {  // serves nothing (e.g. fresh after crash)
+    entries_.erase(host);
+    return;
+  }
+  entries_[host] = Entry{std::move(filter), endpoint, now};
+}
+
+void ReplicaDirectory::remove(HostId host) { entries_.erase(host); }
+
+bool ReplicaDirectory::serves(HostId host, const std::string& name) const {
+  const auto it = entries_.find(host);
+  return it != entries_.end() && it->second.filter.maybe_contains(name);
+}
+
+void ReplicaDirectory::clear() { entries_.clear(); }
+
+std::vector<ReplicaDirectory::Source> ReplicaDirectory::lookup(
+    const std::string& name, SimTime now, SimTime ttl, HostId except, int max,
+    const std::function<bool(HostId)>& allow) {
+  // Candidates carry their advert age so the freshest hosts win the `max`
+  // slots: a churned-off volunteer stops polling and its last_seen lags,
+  // while a live one refreshes every RPC — recency is the cheapest liveness
+  // signal the scheduler has.
+  struct Candidate {
+    SimTime last_seen;
+    Source source;
+  };
+  std::vector<Candidate> found;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.last_seen + ttl < now) {
+      it = entries_.erase(it);
+      ++expired_;
+      continue;
+    }
+    const HostId host = it->first;
+    if (host != except && it->second.filter.maybe_contains(name) &&
+        (!allow || allow(host))) {
+      found.push_back(
+          Candidate{it->second.last_seen, Source{host, it->second.endpoint}});
+    }
+    ++it;
+  }
+  std::stable_sort(found.begin(), found.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.last_seen > b.last_seen;
+                   });
+  std::vector<Source> out;
+  for (const auto& c : found) {
+    if (static_cast<int>(out.size()) >= max) break;
+    out.push_back(c.source);
+  }
+  return out;
+}
+
+}  // namespace vcmr::store

@@ -1,0 +1,186 @@
+#pragma once
+// vcmr::store — the distributed storage tier.
+//
+// Removes the implicit "one project DataServer" assumption that bounds every
+// E1 result by a single access link. Two pieces:
+//
+//  * StorageTier — N sharded project data servers behind one façade. Files
+//    are routed to a shard by name hash at stage/upload time and the
+//    placement is remembered, so downloads always hit the shard that holds
+//    the file. With n_shards == 1 (the default) every call forwards to the
+//    lone primary and behaviour is bit-identical to the historical single
+//    DataServer. Per-shard and per-tier egress/ingress land in vcmr::obs
+//    (always-on counter bumps: no events, no RNG draws).
+//
+//  * ReplicaDirectory — the scheduler-side index of the volunteer replica
+//    store. Clients that downloaded or produced a chunk advertise a Bloom
+//    filter of the names they serve ("who has chunk X" membership, the
+//    existing common::BloomFilter wire format) in each scheduler RPC; the
+//    directory answers lookup() with trusted serve points so task
+//    assignments can point downloads at volunteers instead of the project
+//    shards. Bloom false positives are resolved by the client's cheap
+//    miss/redirect path — a peer that matches the filter but lacks the
+//    chunk refuses synchronously and the client moves to the next source.
+//    Entries expire on a TTL (churned volunteers fade out) and an empty
+//    advert removes the entry (a crashed client's next RPC carries an empty
+//    filter, invalidating its serve points like PR 3's dead holders).
+//
+// Both are default-off: a scenario with no <data_servers>/<volunteer_store>
+// block stays bit-identical to the seed golden traces.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bloom.h"
+#include "common/types.h"
+#include "mr/dataset.h"
+#include "net/http.h"
+#include "store/data_server.h"
+
+namespace vcmr::store {
+
+struct StorageTierConfig {
+  /// Number of project data servers the staged files are sharded over.
+  /// 1 reproduces the single-server deployment exactly.
+  int n_shards = 1;
+
+  friend bool operator==(const StorageTierConfig&,
+                         const StorageTierConfig&) = default;
+};
+
+struct VolunteerStoreConfig {
+  bool enabled = false;
+  /// Bloom geometry of the per-client "chunks I serve" advert.
+  int filter_bits = 2048;
+  int filter_hashes = 4;
+  /// Volunteer serve points attached per input file in a task assignment.
+  int max_store_peers = 2;
+  /// A directory entry not refreshed by a scheduler RPC within this window
+  /// is dropped (churned volunteers stop being handed out).
+  SimTime advert_ttl = SimTime::minutes(15);
+  /// Locality-aware chunk dispatch: once this many distinct hosts have
+  /// been sent one input file server-sourced, further assignments of that
+  /// file wait (bounded by dispatch_max_skips, delay-scheduling style)
+  /// until a trusted volunteer replica exists to serve it. The default of
+  /// 2 matches a quorum-2 project: the validation pair bootstraps
+  /// unhindered, and everything past it is fed from the replica store.
+  int dispatch_gate_width = 2;
+  int dispatch_max_skips = 8;
+
+  friend bool operator==(const VolunteerStoreConfig&,
+                         const VolunteerStoreConfig&) = default;
+};
+
+/// N sharded project data servers behind the single-DataServer interface.
+///
+/// Shard 0 (the primary) lives on the project server node; extra shards are
+/// added by the deployment (Cluster) on their own nodes, each with its own
+/// access link, so tier egress scales with shard count.
+class StorageTier {
+ public:
+  StorageTier(net::HttpService& http, NodeId primary_node, int port = 80);
+
+  StorageTier(const StorageTier&) = delete;
+  StorageTier& operator=(const StorageTier&) = delete;
+
+  /// Adds shard n_shards() on `node` (same port). Call before any staging.
+  DataServer& add_shard(NodeId node);
+
+  int n_shards() const { return static_cast<int>(shards_.size()); }
+  DataServer& shard(int i) { return *shards_.at(static_cast<std::size_t>(i)); }
+  const DataServer& shard(int i) const {
+    return *shards_.at(static_cast<std::size_t>(i));
+  }
+  DataServer& primary() { return *shards_.front(); }
+  const DataServer& primary() const { return *shards_.front(); }
+
+  /// Shard that holds (or would receive) `name`: the recorded placement,
+  /// else name-hash modulo shard count.
+  int shard_for(const std::string& name) const;
+
+  // --- the historical DataServer surface, shard-routed ----------------------
+  void stage(const std::string& name, mr::FilePayload payload);
+  bool has(const std::string& name) const;
+  const mr::FilePayload* payload(const std::string& name) const;
+  std::size_t file_count() const;
+
+  void download(NodeId client, const std::string& name,
+                std::function<void(const mr::FilePayload&)> on_done,
+                std::function<void(std::string)> on_fail,
+                net::FlowPriority priority = net::FlowPriority::kForeground);
+  void upload(NodeId client, const std::string& name, mr::FilePayload payload,
+              std::function<void()> on_done,
+              std::function<void(std::string)> on_fail,
+              net::FlowPriority priority = net::FlowPriority::kForeground);
+
+  /// Installed on every shard, current and future.
+  void set_upload_listener(std::function<void(const std::string&)> listener);
+
+  /// Fault injection: shard outage (503s). shard == -1 hits every shard.
+  void set_available(int shard, bool up);
+  bool available() const { return primary().available(); }
+
+  // --- tier-wide counters (sums over shards) --------------------------------
+  Bytes bytes_served() const;
+  Bytes bytes_ingested() const;
+  std::int64_t downloads() const;
+  std::int64_t uploads() const;
+  std::int64_t rejected_unavailable() const;
+
+ private:
+  net::HttpService& http_;
+  int port_;
+  std::vector<std::unique_ptr<DataServer>> shards_;
+  /// name → shard index, recorded at stage/upload.
+  std::map<std::string, int> placement_;
+  std::function<void(const std::string&)> upload_listener_;
+};
+
+/// Scheduler-side index of volunteer replica adverts.
+class ReplicaDirectory {
+ public:
+  struct Source {
+    HostId host;
+    net::Endpoint endpoint;
+  };
+
+  /// Installs or refreshes a host's advert. An empty filter (the host
+  /// serves nothing — e.g. its first RPC after a crash) removes the entry.
+  void update(HostId host, common::BloomFilter filter, net::Endpoint endpoint,
+              SimTime now);
+  void remove(HostId host);
+  void clear();
+  std::size_t size() const { return entries_.size(); }
+  bool knows(HostId host) const { return entries_.count(host) > 0; }
+
+  /// Whether `host`'s own advert maybe-contains `name` — i.e. the host
+  /// already holds the chunk locally. Used to exempt a requester from the
+  /// dispatch gate: serving yourself needs neither trust nor a transfer.
+  bool serves(HostId host, const std::string& name) const;
+
+  /// Hosts whose advert maybe-contains `name`, most-recently-seen first
+  /// (recency is the scheduler's cheapest liveness signal under churn; ties
+  /// break by host id), at most `max`, skipping `except` (the requester) and
+  /// hosts `allow` rejects (the reputation gate). Entries older than `ttl`
+  /// are evicted as they are encountered.
+  std::vector<Source> lookup(const std::string& name, SimTime now, SimTime ttl,
+                             HostId except, int max,
+                             const std::function<bool(HostId)>& allow);
+
+  /// Entries lazily evicted on TTL expiry so far.
+  std::int64_t expired() const { return expired_; }
+
+ private:
+  struct Entry {
+    common::BloomFilter filter;
+    net::Endpoint endpoint;
+    SimTime last_seen;
+  };
+  std::map<HostId, Entry> entries_;
+  std::int64_t expired_ = 0;
+};
+
+}  // namespace vcmr::store

@@ -11,7 +11,7 @@
 
 #include "client/client.h"
 #include "mr/apps.h"
-#include "server/data_server.h"
+#include "store/store.h"
 #include "sim/simulation.h"
 
 namespace vcmr::client {
@@ -22,7 +22,7 @@ struct Fixture {
   net::Network net{sim};
   net::HttpService http{net};
   NodeId server_node;
-  std::unique_ptr<server::DataServer> data;
+  std::unique_ptr<store::StorageTier> data;
   PeerRegistry registry;
   net::Endpoint sched_ep;
 
@@ -35,7 +35,7 @@ struct Fixture {
     net::NodeConfig c;
     c.latency = SimTime::millis(2);
     server_node = net.add_node(c);
-    data = std::make_unique<server::DataServer>(http, server_node);
+    data = std::make_unique<store::StorageTier>(http, server_node);
     sched_ep = {server_node, 8080};
     http.listen(sched_ep, [this](const net::HttpRequest& req,
                                  net::HttpRespondFn respond) {

@@ -95,6 +95,91 @@ TEST(ScenarioIo, FullDocument) {
   EXPECT_DOUBLE_EQ(back.nat_mix->symmetric, 0.5);
 }
 
+TEST(ScenarioIo, StorageTierRoundTrips) {
+  Scenario s;
+  s.data_servers.n_shards = 3;
+  auto& vc = s.project.volunteer_store;
+  vc.enabled = true;
+  vc.filter_bits = 4096;
+  vc.filter_hashes = 5;
+  vc.max_store_peers = 3;
+  vc.advert_ttl = SimTime::seconds(600);
+  vc.dispatch_gate_width = 4;
+  vc.dispatch_max_skips = 12;
+  fault::ServerOutage outage;
+  outage.down_at = SimTime::seconds(100);
+  outage.up_at = SimTime::seconds(200);
+  outage.shard = 1;
+  s.faults.server_outages.push_back(outage);
+  fault::ServerOutage whole_tier;
+  whole_tier.down_at = SimTime::seconds(300);
+  s.faults.server_outages.push_back(whole_tier);
+
+  const Scenario back = scenario_from_xml(scenario_to_xml(s));
+  EXPECT_EQ(back.data_servers, s.data_servers);
+  EXPECT_EQ(back.project.volunteer_store, vc);
+  ASSERT_EQ(back.faults.server_outages.size(), 2u);
+  EXPECT_EQ(back.faults.server_outages[0].shard, 1);
+  EXPECT_EQ(back.faults.server_outages[1].shard, -1);
+
+  // A scenario that never mentions the storage tier keeps the defaults:
+  // one shard, store off.
+  const Scenario plain = scenario_from_xml("<scenario><nodes>4</nodes></scenario>");
+  EXPECT_EQ(plain.data_servers.n_shards, 1);
+  EXPECT_FALSE(plain.project.volunteer_store.enabled);
+}
+
+TEST(ScenarioIo, StorageErrorsCarryLineNumbers) {
+  const auto message_of = [](const std::string& xml) -> std::string {
+    try {
+      scenario_from_xml(xml);
+    } catch (const Error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  // The offending element sits on line 3 of the document.
+  std::string msg = message_of(
+      "<scenario>\n"
+      "  <data_servers>\n"
+      "    <shards>0</shards>\n"
+      "  </data_servers>\n"
+      "</scenario>");
+  EXPECT_NE(msg.find("scenario xml line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("<data_servers><shards>"), std::string::npos) << msg;
+
+  msg = message_of(
+      "<scenario>\n"
+      "  <volunteer_store>\n"
+      "    <enabled>1</enabled>\n"
+      "    <filter_bits>4</filter_bits>\n"
+      "  </volunteer_store>\n"
+      "</scenario>");
+  EXPECT_NE(msg.find("scenario xml line 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("filter_bits"), std::string::npos) << msg;
+
+  // When the element is absent the error points at the block's open tag.
+  msg = message_of(
+      "<scenario>\n"
+      "  <volunteer_store>\n"
+      "    <advert_ttl_s>0</advert_ttl_s>\n"
+      "  </volunteer_store>\n"
+      "</scenario>");
+  EXPECT_NE(msg.find("scenario xml line 3"), std::string::npos) << msg;
+
+  EXPECT_THROW(
+      scenario_from_xml("<scenario><volunteer_store>"
+                        "<max_store_peers>0</max_store_peers>"
+                        "</volunteer_store></scenario>"),
+      Error);
+  EXPECT_THROW(
+      scenario_from_xml("<scenario><volunteer_store>"
+                        "<dispatch_gate_width>0</dispatch_gate_width>"
+                        "</volunteer_store></scenario>"),
+      Error);
+}
+
 TEST(ScenarioIo, RejectsInvalid) {
   EXPECT_THROW(scenario_from_xml("<wrong/>"), Error);
   EXPECT_THROW(scenario_from_xml("<scenario><nodes>0</nodes></scenario>"),

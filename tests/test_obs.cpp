@@ -308,6 +308,41 @@ TEST(Export, MetricsJsonIsValidAndComplete) {
   EXPECT_NE(json.find("\"buckets\": [0, 1, 0]"), std::string::npos);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  obs::Histogram h({30, 60, 120});
+  EXPECT_EQ(h.quantile(0.5), 0);  // no observations
+  h.observe(10);
+  h.observe(45);
+  h.observe(45);
+  h.observe(100);
+  // rank 2 lands in [30,60) after 1 earlier observation: halfway through.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 45);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 108);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 117.6);
+  // Overflow clamps to the last bound.
+  h.observe(1e9);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 120);
+}
+
+TEST(Export, HistogramPercentileFormatPin) {
+  // Format pin: every histogram object carries p50/p95/p99 summaries in
+  // this exact rendering (%.6g numbers, after count and sum). Downstream
+  // dashboards parse these fields — change them deliberately or not at all.
+  ScopedMetricsRegistry scope;
+  auto& reg = MetricsRegistry::instance();
+  auto& h = reg.histogram("client", "backoff_seconds", {30, 60, 120});
+  h.observe(10);
+  h.observe(45);
+  h.observe(45);
+  h.observe(100);
+  const std::string json = obs::metrics_json(reg);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"count\": 4, \"sum\": 200, "
+                      "\"p50\": 45, \"p95\": 108, \"p99\": 117.6}"),
+            std::string::npos)
+      << json;
+}
+
 TEST(Export, ChromeTraceRendersSpansPointsAndEvents) {
   sim::TraceRecorder tr;
   const std::size_t tok =

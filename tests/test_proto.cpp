@@ -85,6 +85,43 @@ TEST(Proto, LostWorkFieldsRoundTrip) {
   EXPECT_TRUE(fresh_back.known_results.empty());
 }
 
+TEST(Proto, StoreFieldsRoundTrip) {
+  // Volunteer replica store: the Bloom advert rides the request, the
+  // from_store marker rides peer locations in the reply.
+  SchedulerRequest req;
+  req.host_id = 5;
+  req.store_filter = "bloom:64:2:00000000000000aa";
+  const SchedulerRequest back = request_from_xml(to_xml(req));
+  EXPECT_EQ(back.store_filter, "bloom:64:2:00000000000000aa");
+
+  PeerLocation p;
+  p.map_index = 1;
+  p.file_name = "job_map_input_2";
+  p.size = 400;
+  p.holder_host = 6;
+  p.endpoint = {NodeId{7}, 31416};
+  p.on_server = true;
+  p.from_store = true;
+  LocationUpdate upd;
+  upd.result_id = 3;
+  upd.peers.push_back(p);
+  SchedulerReply reply;
+  reply.location_updates.push_back(upd);
+  const SchedulerReply rback = reply_from_xml(to_xml(reply));
+  ASSERT_EQ(rback.location_updates.size(), 1u);
+  ASSERT_EQ(rback.location_updates[0].peers.size(), 1u);
+  EXPECT_TRUE(rback.location_updates[0].peers[0].from_store);
+
+  // Disabled-store traffic puts neither field on the wire: byte counts —
+  // and so simulated timing — match the old format exactly.
+  const std::string off = to_xml(SchedulerRequest{});
+  EXPECT_EQ(off.find("store_filter"), std::string::npos);
+  p.from_store = false;
+  upd.peers[0] = p;
+  reply.location_updates[0] = upd;
+  EXPECT_EQ(to_xml(reply).find("from_store"), std::string::npos);
+}
+
 TEST(Proto, ReplyRoundTrip) {
   SchedulerReply reply;
   reply.request_delay = SimTime::seconds(6);

@@ -7,12 +7,14 @@
 // (prompt) work-fetch RPC. We submit K concurrent word-count jobs and
 // report per-job makespans, aggregate throughput, and backoff counts.
 
+#include <fstream>
+
 #include "bench_util.h"
 
 namespace vcmr {
 namespace {
 
-void run(int n_seeds) {
+void run(int n_seeds, const char* out_path) {
   std::printf("E13 — CONCURRENT JOBS vs BACKOFF STARVATION (20 nodes, "
               "500 MB per job, 20 maps, 5 reducers, %d seeds)\n\n",
               n_seeds);
@@ -21,6 +23,7 @@ void run(int n_seeds) {
               "RPCs");
   std::printf("%s\n", std::string(80, '=').c_str());
 
+  std::vector<std::string> rows;
   for (const int k : {1, 2, 4, 8}) {
     double mean_total = 0, last_done = 0, backoffs = 0, rpcs = 0;
     int runs = 0;
@@ -68,6 +71,17 @@ void run(int n_seeds) {
         last_done > 0 ? (0.5 * k) / (last_done / 3600.0) : 0;
     std::printf("%6d | %12.0f %12.0f | %14.2f | %10.0f | %10.0f\n", k,
                 mean_total, last_done, gb_per_hour, backoffs, rpcs);
+    bench::JsonRow row;
+    row.field("experiment", "E13")
+        .field("jobs", k)
+        .field("seeds", n_seeds)
+        .field("completed_batches", runs)
+        .field("mean_job_seconds", mean_total)
+        .field("last_done_seconds", last_done)
+        .field("gb_per_hour", gb_per_hour)
+        .field("backoffs", backoffs)
+        .field("scheduler_rpcs", rpcs);
+    rows.push_back(row.str());
   }
   std::printf(
       "\nExpected shape: per-job makespan grows sub-linearly with K while\n"
@@ -75,6 +89,19 @@ void run(int n_seeds) {
       "scheduler rarely sends a mid-run client away empty-handed, so the\n"
       "backoff straggler stops dominating (backoffs grow only with the\n"
       "longer end-of-run drain, not with per-job idling).\n");
+
+  // Consolidated machine-readable report at the repository root.
+  std::string doc = "{\"experiment\": \"E13\", \"seeds\": " +
+                    std::to_string(n_seeds) + ", \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) doc += ", ";
+    doc += rows[i];
+  }
+  doc += "]}\n";
+  std::ofstream out(out_path);
+  out << doc;
+  std::printf("wrote %s\n", out_path);
+  for (const auto& r : rows) std::printf("%s\n", r.c_str());
 }
 
 }  // namespace
@@ -82,6 +109,7 @@ void run(int n_seeds) {
 
 int main(int argc, char** argv) {
   vcmr::bench::silence_logs();
-  vcmr::run(argc > 1 ? std::atoi(argv[1]) : 3);
+  vcmr::run(argc > 1 ? std::atoi(argv[1]) : 3,
+            argc > 2 ? argv[2] : "BENCH_MULTIJOB.json");
   return 0;
 }

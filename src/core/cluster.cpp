@@ -226,6 +226,16 @@ RunOutcome Cluster::run_job(const server::MrJobSpec& spec) {
   return run_jobs({spec}).front();
 }
 
+void Cluster::start_fleet() {
+  if (started_) return;
+  started_ = true;
+  project_->start();
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->start();
+    if (churn_) churn_->attach(*clients_[i], i);
+  }
+}
+
 std::vector<RunOutcome> Cluster::run_jobs(
     const std::vector<server::MrJobSpec>& specs) {
   require(!specs.empty(), "run_jobs: no jobs given");
@@ -233,14 +243,7 @@ std::vector<RunOutcome> Cluster::run_jobs(
   jobs.reserve(specs.size());
   for (const auto& spec : specs) jobs.push_back(project_->submit_job(spec));
 
-  if (!started_) {
-    started_ = true;
-    project_->start();
-    for (std::size_t i = 0; i < clients_.size(); ++i) {
-      clients_[i]->start();
-      if (churn_) churn_->attach(*clients_[i], i);
-    }
-  }
+  start_fleet();
 
   auto& jt = project_->jobtracker();
   auto all_settled = [&] {
@@ -254,59 +257,102 @@ std::vector<RunOutcome> Cluster::run_jobs(
 
   std::vector<RunOutcome> outcomes;
   for (const MrJobId job : jobs) {
-    RunOutcome out;
-    out.job = job;
-    out.hit_time_limit = !finished;
-    out.metrics = compute_job_metrics(project_->database(), job);
-
-    const net::NodeTraffic& st = net_->traffic(server_node_);
-    out.server_bytes_sent = st.bytes_sent;
-    out.server_bytes_received = st.bytes_received;
-    out.scheduler_rpcs = project_->scheduler().stats().rpcs;
-    out.results_lost = project_->scheduler().stats().results_lost;
-    out.fetch_failures_reported =
-        project_->scheduler().stats().fetch_failures_reported;
-    out.maps_invalidated = project_->scheduler().stats().maps_invalidated;
-    for (const auto& c : clients_) {
-      out.backoffs += c->stats().backoffs;
-      out.server_fallbacks += c->stats().server_fallbacks;
-      out.peer_fetch_attempts += c->peer_stats().attempts;
-      out.interclient_bytes += c->peer_stats().bytes_fetched;
-      out.local_read_bytes += c->stats().bytes_read_locally;
-      out.store_bytes += c->stats().bytes_downloaded_store;
-      out.store_fetches += c->stats().store_fetches;
-      out.store_misses += c->stats().store_misses;
-    }
-    if (establisher_) out.traversal = establisher_->stats();
-    if (injector_) out.faults = injector_->stats();
-
-    log_.info("job ", job.value(), out.metrics.completed ? " completed" :
-              (out.metrics.failed ? " FAILED" : " timed out"),
-              " at t=", sim_->now().str());
-
-    // Job-level roll-up: gauges keyed by job id so multi-job runs keep each
-    // job's summary distinct in the metrics export.
-    auto& reg = obs::MetricsRegistry::instance();
-    const obs::Labels job_label = {{"job", std::to_string(job.value())}};
-    reg.gauge("job", "total_seconds", job_label)
-        .set(out.metrics.total_seconds);
-    reg.gauge("job", "completed", job_label)
-        .set(out.metrics.completed ? 1 : 0);
-    reg.gauge("job", "server_bytes_sent", job_label)
-        .set(static_cast<double>(out.server_bytes_sent));
-    reg.gauge("job", "server_bytes_received", job_label)
-        .set(static_cast<double>(out.server_bytes_received));
-    reg.gauge("job", "backoffs", job_label)
-        .set(static_cast<double>(out.backoffs));
-    obs::publish(sim_->now(), "cluster",
-                 out.metrics.completed
-                     ? "job_completed"
-                     : (out.metrics.failed ? "job_failed" : "job_timeout"),
-                 "cluster", "job" + std::to_string(job.value()));
-
-    outcomes.push_back(std::move(out));
+    outcomes.push_back(job_outcome(job, finished));
   }
   return outcomes;
+}
+
+RunOutcome Cluster::job_outcome(MrJobId job, bool finished) {
+  RunOutcome out;
+  out.job = job;
+  out.hit_time_limit = !finished;
+  out.metrics = compute_job_metrics(project_->database(), job);
+
+  const net::NodeTraffic& st = net_->traffic(server_node_);
+  out.server_bytes_sent = st.bytes_sent;
+  out.server_bytes_received = st.bytes_received;
+  out.scheduler_rpcs = project_->scheduler().stats().rpcs;
+  out.results_lost = project_->scheduler().stats().results_lost;
+  out.fetch_failures_reported =
+      project_->scheduler().stats().fetch_failures_reported;
+  out.maps_invalidated = project_->scheduler().stats().maps_invalidated;
+  for (const auto& c : clients_) {
+    out.backoffs += c->stats().backoffs;
+    out.server_fallbacks += c->stats().server_fallbacks;
+    out.peer_fetch_attempts += c->peer_stats().attempts;
+    out.interclient_bytes += c->peer_stats().bytes_fetched;
+    out.local_read_bytes += c->stats().bytes_read_locally;
+    out.store_bytes += c->stats().bytes_downloaded_store;
+    out.store_fetches += c->stats().store_fetches;
+    out.store_misses += c->stats().store_misses;
+  }
+  if (establisher_) out.traversal = establisher_->stats();
+  if (injector_) out.faults = injector_->stats();
+
+  log_.info("job ", job.value(), out.metrics.completed ? " completed" :
+            (out.metrics.failed ? " FAILED" : " timed out"),
+            " at t=", sim_->now().str());
+
+  // Job-level roll-up: gauges keyed by job id so multi-job runs keep each
+  // job's summary distinct in the metrics export.
+  auto& reg = obs::MetricsRegistry::instance();
+  const obs::Labels job_label = {{"job", std::to_string(job.value())}};
+  reg.gauge("job", "total_seconds", job_label)
+      .set(out.metrics.total_seconds);
+  reg.gauge("job", "completed", job_label)
+      .set(out.metrics.completed ? 1 : 0);
+  reg.gauge("job", "server_bytes_sent", job_label)
+      .set(static_cast<double>(out.server_bytes_sent));
+  reg.gauge("job", "server_bytes_received", job_label)
+      .set(static_cast<double>(out.server_bytes_received));
+  reg.gauge("job", "backoffs", job_label)
+      .set(static_cast<double>(out.backoffs));
+  obs::publish(sim_->now(), "cluster",
+               out.metrics.completed
+                   ? "job_completed"
+                   : (out.metrics.failed ? "job_failed" : "job_timeout"),
+               "cluster", "job" + std::to_string(job.value()));
+
+  return out;
+}
+
+WorkflowRunResult Cluster::run_workflow() {
+  require(!scenario_.workflow.empty(),
+          "run_workflow: scenario has no workflow nodes");
+  return run_workflow(wf::WorkflowGraph(scenario_.workflow));
+}
+
+WorkflowRunResult Cluster::run_workflow(const wf::WorkflowGraph& graph) {
+  wf::WorkflowCoordinator coordinator(
+      *sim_, *project_, graph, scenario_.record_trace ? &trace_ : nullptr);
+  const double t0 = sim_->now().as_seconds();
+  // Same order as run_jobs: submission first (it schedules no events of its
+  // own), then the fleet — so a single-node workflow replays a plain
+  // run_job event-for-event.
+  coordinator.start();
+  start_fleet();
+
+  const bool finished = sim_->run_until(
+      [&coordinator] { return coordinator.settled(); },
+      sim_->now() + scenario_.time_limit);
+
+  WorkflowRunResult res;
+  res.hit_time_limit = !finished;
+  res.completed = finished && coordinator.succeeded();
+  res.total_seconds = sim_->now().as_seconds() - t0;
+  res.nodes = coordinator.outcomes();
+  res.final_output = coordinator.final_output();
+
+  log_.info("workflow ", res.completed ? "completed" :
+            (res.hit_time_limit ? "timed out" : "FAILED"),
+            " (", graph.nodes().size(), " nodes, depth ", graph.depth(),
+            ") at t=", sim_->now().str());
+  obs::publish(sim_->now(), "wf",
+               res.completed ? "workflow_completed"
+                             : (res.hit_time_limit ? "workflow_timeout"
+                                                   : "workflow_failed"),
+               "workflow", "");
+  return res;
 }
 
 std::vector<mr::KeyValue> Cluster::collect_output(MrJobId job) const {

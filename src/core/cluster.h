@@ -23,6 +23,7 @@
 #include "volunteer/availability.h"
 #include "volunteer/byzantine.h"
 #include "volunteer/population.h"
+#include "workflow/coordinator.h"
 
 namespace vcmr::core {
 
@@ -82,6 +83,11 @@ struct Scenario {
   /// Deterministic fault schedule (vcmr::fault); empty = no engine wired,
   /// bit-identical to pre-fault behaviour.
   fault::FaultPlan faults;
+  /// Workflow nodes (vcmr::wf). Non-empty → the scenario describes a DAG /
+  /// iterative workload driven by Cluster::run_workflow() instead of the
+  /// single flat job above; validated (cycles, unknown apps/deps) at parse
+  /// time by scenario_from_xml and again when the graph is built.
+  std::vector<wf::NodeSpec> workflow;
   bool record_trace = false;            ///< per-host timeline (Fig. 4)
 
   SimTime time_limit = SimTime::hours(12);
@@ -112,6 +118,16 @@ struct RunOutcome {
   fault::FaultStats faults;         ///< injected/recovered fault counters
 };
 
+/// Result of one workflow run (Cluster::run_workflow).
+struct WorkflowRunResult {
+  bool completed = false;      ///< every node done (and converged/expired)
+  bool hit_time_limit = false;
+  double total_seconds = 0;    ///< first submission → workflow settled
+  std::vector<wf::NodeOutcome> nodes;  ///< graph order
+  /// Merged, key-sorted output of the sink nodes (materialised mode).
+  std::vector<mr::KeyValue> final_output;
+};
+
 class Cluster {
  public:
   explicit Cluster(Scenario scenario);
@@ -130,6 +146,15 @@ class Cluster {
   /// scheduler". Per-job metrics are per job; traffic/RPC counters in each
   /// outcome cover the whole run.
   std::vector<RunOutcome> run_jobs(const std::vector<server::MrJobSpec>& specs);
+  /// Runs the scenario's <workflow> block (requires a non-empty one).
+  WorkflowRunResult run_workflow();
+  /// Runs an explicit graph: submits the roots, then lets the coordinator
+  /// chase the JobTracker's finished events until the DAG settles (every
+  /// node done, failed, or skipped) or the time limit strikes.
+  WorkflowRunResult run_workflow(const wf::WorkflowGraph& graph);
+  /// Per-job outcome snapshot (metrics + whole-run traffic counters), the
+  /// roll-up run_jobs/run_workflow record for each finished job.
+  RunOutcome job_outcome(MrJobId job, bool finished);
 
   // --- access -------------------------------------------------------------
   sim::Simulation& simulation() { return *sim_; }
@@ -153,6 +178,9 @@ class Cluster {
   std::vector<mr::KeyValue> collect_output(MrJobId job) const;
 
  private:
+  /// Starts the project daemons, clients, and churn once per cluster.
+  void start_fleet();
+
   Scenario scenario_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<net::Network> net_;

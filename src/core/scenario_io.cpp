@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/strings.h"
 #include "common/xml.h"
+#include "workflow/workflow.h"
 
 namespace vcmr::core {
 
@@ -53,6 +54,8 @@ Scenario scenario_from_xml(const std::string& xml) {
                      cfg.report_fetch_failures ? 1 : 0) != 0;
     cfg.snapshot_period = SimTime::seconds(p->child_double(
         "snapshot_period_s", cfg.snapshot_period.as_seconds()));
+    cfg.feeder_fair_share =
+        p->child_i64("feeder_fair_share", cfg.feeder_fair_share ? 1 : 0) != 0;
     require(cfg.min_quorum >= 1 && cfg.min_quorum <= cfg.target_nresults,
             "scenario xml: need 1 <= min_quorum <= target_nresults");
   }
@@ -297,6 +300,49 @@ Scenario scenario_from_xml(const std::string& xml) {
     s.faults.rpc_loss_rate = f->child_double("rpc_loss_rate", 0);
   }
 
+  if (const XmlNode* w = root->child("workflow")) {
+    // One <node name="..."> per MapReduce job; <deps> is a comma-separated
+    // list of upstream node names. Structural validation (unknown apps and
+    // deps, cycles, inputless roots) happens right here, at parse time,
+    // with errors citing the offending <node>'s line.
+    for (const XmlNode* n : w->children("node")) {
+      wf::NodeSpec node;
+      node.line = n->line();
+      const std::string* name = n->attr("name");
+      if (name == nullptr || name->empty()) {
+        throw Error(common::strprintf(
+            "scenario xml line %d: <workflow><node> needs a name attribute",
+            n->line()));
+      }
+      node.job.name = *name;
+      node.job.app = n->child_text("app", node.job.app);
+      node.job.n_maps = static_cast<int>(n->child_i64("maps", 0));
+      node.job.n_reducers = static_cast<int>(n->child_i64("reducers", 0));
+      node.job.input_size = n->child_i64("input_mb", 0) * 1000000;
+      if (n->has_child("input_text")) {
+        node.job.input_text = n->child_text("input_text");
+      }
+      node.job.shared_input = n->child_i64("shared_input", 0) != 0;
+      for (const std::string& tok :
+           common::split(n->child_text("deps"), ',')) {
+        const std::string dep(common::trim(tok));
+        if (!dep.empty()) node.deps.push_back(dep);
+      }
+      if (const XmlNode* it = n->child("iterate")) {
+        node.iterate.max_iterations = static_cast<int>(it->child_i64(
+            "max_iterations", node.iterate.max_iterations));
+        node.iterate.threshold =
+            it->child_double("threshold", node.iterate.threshold);
+      }
+      s.workflow.push_back(std::move(node));
+    }
+    if (s.workflow.empty()) {
+      fail_at(*w, "node", "<workflow> has no <node> children");
+    }
+    const wf::WorkflowGraph validate(s.workflow);  // throws, line-numbered
+    (void)validate;
+  }
+
   require(s.n_nodes >= 1 && s.n_maps >= 1 && s.n_reducers >= 1,
           "scenario xml: nodes/maps/reducers must be >= 1");
   return s;
@@ -341,6 +387,8 @@ std::string scenario_to_xml(const Scenario& s) {
   p.add_child_text(
       "snapshot_period_s",
       common::strprintf("%.0f", s.project.snapshot_period.as_seconds()));
+  p.add_child_text("feeder_fair_share",
+                   s.project.feeder_fair_share ? "1" : "0");
 
   const auto& rc = s.project.reputation;
   XmlNode& r = root.add_child("replication");
@@ -511,6 +559,36 @@ std::string scenario_to_xml(const Scenario& s) {
     if (s.faults.rpc_loss_rate > 0) {
       f.add_child_text("rpc_loss_rate",
                        common::strprintf("%.6f", s.faults.rpc_loss_rate));
+    }
+  }
+  if (!s.workflow.empty()) {
+    XmlNode& w = root.add_child("workflow");
+    for (const auto& node : s.workflow) {
+      XmlNode& n = w.add_child("node");
+      n.set_attr("name", node.job.name);
+      n.add_child_text("app", node.job.app);
+      n.add_child_text("maps", std::to_string(node.job.n_maps));
+      n.add_child_text("reducers", std::to_string(node.job.n_reducers));
+      if (node.job.input_text) {
+        n.add_child_text("input_text", *node.job.input_text);
+      } else if (node.job.input_size > 0) {
+        n.add_child_text("input_mb",
+                         std::to_string(node.job.input_size / 1000000));
+      }
+      if (node.job.shared_input) n.add_child_text("shared_input", "1");
+      if (!node.deps.empty()) {
+        n.add_child_text("deps", common::join(node.deps, ","));
+      }
+      if (node.iterate.max_iterations > 1 || node.iterate.threshold >= 0) {
+        XmlNode& it = n.add_child("iterate");
+        it.add_child_text("max_iterations",
+                          std::to_string(node.iterate.max_iterations));
+        if (node.iterate.threshold >= 0) {
+          it.add_child_text(
+              "threshold",
+              common::strprintf("%.6f", node.iterate.threshold));
+        }
+      }
     }
   }
   return root.to_string();

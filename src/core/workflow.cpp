@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "mr/keyvalue.h"
+#include "workflow/workflow.h"
 
 namespace vcmr::core {
 
@@ -9,34 +10,39 @@ ChainResult run_chain(Cluster& cluster, const std::string& job_name,
                       const std::string& initial_input,
                       const std::vector<ChainStage>& stages) {
   require(!stages.empty(), "run_chain: no stages");
-  ChainResult result;
 
-  std::string input = initial_input;
-  const double t0 = cluster.simulation().now().as_seconds();
+  // A chain is the degenerate workflow: stage k+1 depends on stage k. The
+  // coordinator chains inputs exactly as the old sequential loop did —
+  // merged, key-sorted reduce outputs, line-serialized — so final_output is
+  // byte-identical to the pre-workflow oracle; the only difference is that
+  // stage k+1 is now submitted inside the assimilator pass that finishes
+  // stage k instead of after the simulation drains.
+  std::vector<server::MrJobSpec> specs;
+  specs.reserve(stages.size());
   for (std::size_t k = 0; k < stages.size(); ++k) {
-    const ChainStage& stage = stages[k];
     server::MrJobSpec spec;
     spec.name = job_name + "_stage" + std::to_string(k);
-    spec.app = stage.app;
-    spec.n_maps = stage.n_maps;
-    spec.n_reducers = stage.n_reducers;
-    spec.input_text = input;
-    const RunOutcome out = cluster.run_job(spec);
-    result.stages.push_back(out);
-    if (!out.metrics.completed) return result;
-
-    // Stage k's merged output is stage k+1's corpus; the "word value" line
-    // format is exactly what chain-aware apps (count_range) parse.
-    const std::vector<mr::KeyValue> output = cluster.collect_output(out.job);
-    if (k + 1 == stages.size()) {
-      result.final_output = output;
-      result.completed = true;
-    } else {
-      input = mr::serialize_kvs(output);
-      require(!input.empty(), "run_chain: stage produced empty output");
-    }
+    spec.app = stages[k].app;
+    spec.n_maps = stages[k].n_maps;
+    spec.n_reducers = stages[k].n_reducers;
+    if (k == 0) spec.input_text = initial_input;
+    specs.push_back(std::move(spec));
   }
-  result.total_seconds = cluster.simulation().now().as_seconds() - t0;
+  const WorkflowRunResult wf_result =
+      cluster.run_workflow(wf::linear_workflow(std::move(specs)));
+
+  ChainResult result;
+  for (const wf::NodeOutcome& node : wf_result.nodes) {
+    if (node.runs.empty()) break;  // never submitted: an upstream failed
+    result.stages.push_back(
+        cluster.job_outcome(node.runs.back().job, !wf_result.hit_time_limit));
+    if (node.state != wf::NodeOutcome::State::kDone) break;
+  }
+  if (wf_result.completed) {
+    result.final_output = wf_result.final_output;
+    result.completed = true;
+    result.total_seconds = wf_result.total_seconds;
+  }
   return result;
 }
 

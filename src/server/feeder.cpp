@@ -1,6 +1,7 @@
 #include "server/feeder.h"
 
 #include <algorithm>
+#include <map>
 
 namespace vcmr::server {
 
@@ -18,7 +19,24 @@ int Feeder::refill() {
     // Top up audit-first: spot-check replicas must not queue behind bulk
     // work, or a trust verdict waits a whole cache drain.
     std::vector<ResultId> unsent = db_.unsent_results();
-    std::stable_partition(unsent.begin(), unsent.end(), audit);
+    const auto bulk =
+        std::stable_partition(unsent.begin(), unsent.end(), audit);
+    if (fair_share_) {
+      // Cross-job fair-share: interleave the bulk tail one result per job
+      // per round, jobs in ascending job-id order, id order within each
+      // job. One job in the system → one group → exactly the historical
+      // global id order.
+      std::map<MrJobId, std::vector<ResultId>> by_job;
+      for (auto it = bulk; it != unsent.end(); ++it) {
+        by_job[db_.workunit(db_.result(*it).wu).mr_job].push_back(*it);
+      }
+      auto out = bulk;
+      for (std::size_t round = 0; out != unsent.end(); ++round) {
+        for (const auto& [job, ids] : by_job) {
+          if (round < ids.size()) *out++ = ids[round];
+        }
+      }
+    }
     for (const ResultId id : unsent) {
       if (cache_.size() >= capacity()) break;
       if (std::find(cache_.begin(), cache_.end(), id) == cache_.end()) {

@@ -4,6 +4,14 @@
 // CGIs (§III.B mentions the feeder creating result instances alongside the
 // transitioner). The scheduler only hands out results present in this
 // cache, so feeder cadence adds dispatch latency exactly as in BOINC.
+//
+// With several jobs in the system the cache is the fairness bottleneck: in
+// global result-id order a big job's ready backlog fills every slot and a
+// later job never dispatches until the backlog drains below the cache size.
+// Fair-share mode (the default) tops the cache up round-robin across jobs
+// instead; with a single job the interleave degenerates to exactly the
+// historical id order, so single-job dispatch — and every golden trace — is
+// unchanged.
 
 #include <vector>
 
@@ -13,12 +21,13 @@ namespace vcmr::server {
 
 class Feeder {
  public:
-  Feeder(db::Database& db, int cache_size)
-      : db_(db), cache_size_(cache_size) {}
+  Feeder(db::Database& db, int cache_size, bool fair_share = true)
+      : db_(db), cache_size_(cache_size), fair_share_(fair_share) {}
 
   /// One feeder pass: drop entries that are no longer unsent, then top the
-  /// cache up from the database in result-id order. Returns the number of
-  /// cache rows touched (evicted + added), for daemon telemetry.
+  /// cache up from the database — audit results first, then round-robin
+  /// across jobs (fair-share) or in global result-id order. Returns the
+  /// number of cache rows touched (evicted + added), for daemon telemetry.
   int refill();
 
   const std::vector<ResultId>& cache() const { return cache_; }
@@ -36,6 +45,7 @@ class Feeder {
  private:
   db::Database& db_;
   int cache_size_;
+  bool fair_share_;
   std::vector<ResultId> cache_;
 };
 

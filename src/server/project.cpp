@@ -39,7 +39,7 @@ Project::Project(sim::Simulation& sim, net::HttpService& http,
       rep_policy_(cfg_.reputation, rep_store_,
                   sim.rng_stream("rep.spotcheck")),
       data_(http, server_node, kDataPort),
-      feeder_(db_, cfg_.feeder_cache_size),
+      feeder_(db_, cfg_.feeder_cache_size, cfg_.feeder_fair_share),
       transitioner_(db_, cfg_, &rep_store_),
       validator_(db_, cfg_, &rep_store_),
       assimilator_(db_),

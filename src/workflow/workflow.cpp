@@ -1,0 +1,153 @@
+#include "workflow/workflow.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "mr/app.h"
+
+namespace vcmr::wf {
+
+namespace {
+
+/// Validation failure pointing at the node's scenario-XML line when it has
+/// one (parse-time errors must cite the offending <node>).
+[[noreturn]] void fail(const NodeSpec& node, const std::string& why) {
+  if (node.line > 0) {
+    throw Error(common::strprintf("scenario xml line %d: %s", node.line,
+                                  why.c_str()));
+  }
+  throw Error("workflow: " + why);
+}
+
+}  // namespace
+
+WorkflowGraph::WorkflowGraph(std::vector<NodeSpec> nodes)
+    : nodes_(std::move(nodes)) {
+  require(!nodes_.empty(), "workflow: graph has no nodes");
+  const int n = static_cast<int>(nodes_.size());
+
+  mr::register_builtin_apps();
+  std::map<std::string, int> index;
+  for (int i = 0; i < n; ++i) {
+    const NodeSpec& node = nodes_[static_cast<std::size_t>(i)];
+    if (node.job.name.empty()) fail(node, "workflow node has no name");
+    if (!index.emplace(node.job.name, i).second) {
+      fail(node, "duplicate workflow node '" + node.job.name + "'");
+    }
+    if (mr::AppRegistry::instance().find(node.job.app) == nullptr) {
+      fail(node, "workflow node '" + node.job.name + "' names unknown app '" +
+                     node.job.app + "'");
+    }
+    if (node.iterate.max_iterations < 1) {
+      fail(node, "workflow node '" + node.job.name +
+                     "' needs max_iterations >= 1");
+    }
+  }
+
+  upstream_.assign(static_cast<std::size_t>(n), {});
+  downstream_.assign(static_cast<std::size_t>(n), {});
+  for (int i = 0; i < n; ++i) {
+    const NodeSpec& node = nodes_[static_cast<std::size_t>(i)];
+    std::set<int> seen;
+    for (const std::string& dep : node.deps) {
+      const auto it = index.find(dep);
+      if (it == index.end()) {
+        fail(node, "workflow node '" + node.job.name +
+                       "' depends on unknown node '" + dep + "'");
+      }
+      if (it->second == i) {
+        fail(node, "workflow node '" + node.job.name + "' depends on itself");
+      }
+      if (!seen.insert(it->second).second) continue;  // duplicate edge
+      upstream_[static_cast<std::size_t>(i)].push_back(it->second);
+      downstream_[static_cast<std::size_t>(it->second)].push_back(i);
+    }
+    if (node.deps.empty() && !node.job.input_text &&
+        node.job.input_size <= 0) {
+      fail(node, "workflow root '" + node.job.name +
+                     "' has neither input nor dependencies");
+    }
+  }
+
+  // Kahn's algorithm; anything left over sits on a cycle.
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    indegree[static_cast<std::size_t>(i)] =
+        static_cast<int>(upstream_[static_cast<std::size_t>(i)].size());
+  }
+  std::vector<int> frontier;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[static_cast<std::size_t>(i)] == 0) frontier.push_back(i);
+  }
+  while (!frontier.empty()) {
+    // Smallest index first: a deterministic order that matches submission
+    // order for chains built programmatically.
+    const auto it = std::min_element(frontier.begin(), frontier.end());
+    const int i = *it;
+    frontier.erase(it);
+    topo_.push_back(i);
+    for (const int d : downstream_[static_cast<std::size_t>(i)]) {
+      if (--indegree[static_cast<std::size_t>(d)] == 0) frontier.push_back(d);
+    }
+  }
+  if (static_cast<int>(topo_.size()) != n) {
+    for (int i = 0; i < n; ++i) {
+      if (indegree[static_cast<std::size_t>(i)] > 0) {
+        const NodeSpec& node = nodes_[static_cast<std::size_t>(i)];
+        fail(node, "workflow cycle through node '" + node.job.name + "'");
+      }
+    }
+  }
+}
+
+std::vector<int> WorkflowGraph::roots() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (upstream_[static_cast<std::size_t>(i)].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> WorkflowGraph::sinks() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (downstream_[static_cast<std::size_t>(i)].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+int WorkflowGraph::index_of(const std::string& name) const {
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].job.name == name) return i;
+  }
+  return -1;
+}
+
+int WorkflowGraph::depth() const {
+  std::vector<int> d(nodes_.size(), 1);
+  for (const int i : topo_) {
+    for (const int up : upstream_[static_cast<std::size_t>(i)]) {
+      d[static_cast<std::size_t>(i)] =
+          std::max(d[static_cast<std::size_t>(i)],
+                   d[static_cast<std::size_t>(up)] + 1);
+    }
+  }
+  return *std::max_element(d.begin(), d.end());
+}
+
+WorkflowGraph linear_workflow(std::vector<server::MrJobSpec> specs) {
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    NodeSpec node;
+    node.job = std::move(specs[k]);
+    if (k > 0) node.deps.push_back(nodes[k - 1].job.name);
+    nodes.push_back(std::move(node));
+  }
+  return WorkflowGraph(std::move(nodes));
+}
+
+}  // namespace vcmr::wf

@@ -1,0 +1,86 @@
+#pragma once
+// vcmr::wf — the workflow graph model.
+//
+// The paper treats MapReduce as "a gateway to allow other paradigms or more
+// complex applications" (§VI); production MapReduce workloads are DAGs of
+// jobs (a job's reduce outputs feed the next job's map inputs) and iterative
+// convergence loops (k-means / PageRank style). A WorkflowGraph holds one
+// node per MapReduce job — a `server::MrJobSpec` plus its upstream
+// dependencies and an optional iteration contract — and validates the whole
+// graph up front: duplicate or empty names, unknown apps, unknown or
+// self-referential dependencies, cycles, and roots with no input are all
+// rejected at construction, before anything touches the server. Nodes
+// parsed from scenario XML carry their source line so every validation
+// error points at the offending <node>.
+
+#include <string>
+#include <vector>
+
+#include "server/jobtracker.h"
+
+namespace vcmr::wf {
+
+/// Iteration contract for one node. A node with max_iterations > 1 is
+/// resubmitted with its own merged output as the next iteration's input
+/// until it converges or runs out of iterations.
+struct IterateSpec {
+  int max_iterations = 1;
+  /// Convergence threshold on the merged output: converged when the largest
+  /// per-key |delta| between consecutive iterations drops below it. Values
+  /// are parsed as leading doubles ("0.25|a,b" reads 0.25), which matches
+  /// the page_rank output format. Negative → no convergence check; the node
+  /// runs exactly max_iterations times. Only meaningful for materialised
+  /// nodes; modelled iterations always run to max_iterations.
+  double threshold = -1;
+
+  friend bool operator==(const IterateSpec&, const IterateSpec&) = default;
+};
+
+/// One workflow node: a MapReduce job plus its upstream edges.
+struct NodeSpec {
+  /// job.name doubles as the node name; must be unique within the graph.
+  server::MrJobSpec job;
+  /// Names of upstream nodes whose merged reduce outputs form this node's
+  /// input. Empty → root node (reads job.input_text / job.input_size).
+  std::vector<std::string> deps;
+  IterateSpec iterate;
+  /// Scenario-XML source line of the <node> element (0 = built in code);
+  /// validation errors cite it.
+  int line = 0;
+};
+
+/// A validated DAG of MapReduce jobs. Construction throws vcmr::Error —
+/// with "scenario xml line N:" prefixes for XML-sourced nodes — on any
+/// structural problem, so a graph that exists is always runnable.
+class WorkflowGraph {
+ public:
+  explicit WorkflowGraph(std::vector<NodeSpec> nodes);
+
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  /// Upstream / downstream adjacency by node index.
+  const std::vector<std::vector<int>>& upstream() const { return upstream_; }
+  const std::vector<std::vector<int>>& downstream() const {
+    return downstream_;
+  }
+  /// A topological order (Kahn's algorithm, ties broken by node index).
+  const std::vector<int>& topo_order() const { return topo_; }
+  /// Indices of nodes with no dependencies / no dependants.
+  std::vector<int> roots() const;
+  std::vector<int> sinks() const;
+  /// -1 when no node has that name.
+  int index_of(const std::string& name) const;
+  /// Number of nodes on the longest dependency path (1 for edgeless graphs).
+  int depth() const;
+
+ private:
+  std::vector<NodeSpec> nodes_;
+  std::vector<std::vector<int>> upstream_;
+  std::vector<std::vector<int>> downstream_;
+  std::vector<int> topo_;
+};
+
+/// Convenience: a linear chain node0 -> node1 -> ... built from specs;
+/// spec k+1 depends on spec k. The first spec keeps its own input.
+WorkflowGraph linear_workflow(std::vector<server::MrJobSpec> specs);
+
+}  // namespace vcmr::wf

@@ -401,5 +401,96 @@ TEST(Feeder, RespectsCapacity) {
   EXPECT_EQ(feeder.cache().size(), 5u);
 }
 
+namespace {
+
+/// Two jobs' worth of unsent results: job A's 8 all have lower result ids
+/// than job B's 4, so a pure id-order cache fills up with A alone.
+db::Database two_job_db() {
+  db::Database db;
+  const db::AppRecord& app = db.create_app("a");
+  const auto add = [&](MrJobId job, int count, const std::string& prefix) {
+    for (int i = 0; i < count; ++i) {
+      db::WorkUnitRecord wp;
+      wp.name = prefix + std::to_string(i);
+      wp.app = app.id;
+      wp.mr_job = job;
+      const db::WorkUnitRecord& wu = db.create_workunit(wp);
+      db::ResultRecord rp;
+      rp.wu = wu.id;
+      rp.server_state = db::ServerState::kUnsent;
+      db.create_result(rp);
+    }
+  };
+  add(MrJobId{1}, 8, "jobA_wu");
+  add(MrJobId{2}, 4, "jobB_wu");
+  return db;
+}
+
+int cached_for_job(const db::Database& db, const Feeder& feeder, MrJobId job) {
+  int n = 0;
+  for (const ResultId id : feeder.cache()) {
+    if (db.workunit(db.result(id).wu).mr_job == job) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+// Regression for the cross-job starvation bug: with the cache smaller than
+// job A's backlog, historical id-order feeding never caches a single job-B
+// result until A drains completely.
+TEST(Feeder, IdOrderStarvesSecondJob) {
+  db::Database db = two_job_db();
+  Feeder feeder(db, 4, /*fair_share=*/false);
+  feeder.refill();
+  ASSERT_EQ(feeder.cache().size(), 4u);
+  EXPECT_EQ(cached_for_job(db, feeder, MrJobId{1}), 4);
+  EXPECT_EQ(cached_for_job(db, feeder, MrJobId{2}), 0);
+}
+
+TEST(Feeder, FairShareInterleavesJobs) {
+  db::Database db = two_job_db();
+  Feeder feeder(db, 4, /*fair_share=*/true);
+
+  // Every pass gives both jobs cache slots until B's backlog drains; the
+  // scheduler scans the cache in order, so B makes progress every drain.
+  for (int pass = 0; pass < 2; ++pass) {
+    feeder.refill();
+    ASSERT_EQ(feeder.cache().size(), 4u);
+    EXPECT_EQ(cached_for_job(db, feeder, MrJobId{1}), 2) << "pass " << pass;
+    EXPECT_EQ(cached_for_job(db, feeder, MrJobId{2}), 2) << "pass " << pass;
+    for (const ResultId id : feeder.cache()) {
+      db.result(id).server_state = db::ServerState::kInProgress;
+    }
+  }
+  // B exhausted: the remaining capacity goes back to A.
+  feeder.refill();
+  ASSERT_EQ(feeder.cache().size(), 4u);
+  EXPECT_EQ(cached_for_job(db, feeder, MrJobId{1}), 4);
+}
+
+// With a single job in the system fair-share must degenerate to exactly the
+// historical global id order (golden traces depend on it).
+TEST(Feeder, FairShareSingleJobKeepsIdOrder) {
+  db::Database db;
+  const db::AppRecord& app = db.create_app("a");
+  for (int i = 0; i < 6; ++i) {
+    db::WorkUnitRecord wp;
+    wp.name = "wu" + std::to_string(i);
+    wp.app = app.id;
+    wp.mr_job = MrJobId{1};
+    const db::WorkUnitRecord& wu = db.create_workunit(wp);
+    db::ResultRecord rp;
+    rp.wu = wu.id;
+    rp.server_state = db::ServerState::kUnsent;
+    db.create_result(rp);
+  }
+  Feeder fair(db, 6, /*fair_share=*/true);
+  Feeder id_order(db, 6, /*fair_share=*/false);
+  fair.refill();
+  id_order.refill();
+  EXPECT_EQ(fair.cache(), id_order.cache());
+}
+
 }  // namespace
 }  // namespace vcmr::server

@@ -147,6 +147,81 @@ void report(const vcmr::core::RunOutcome& out) {
   }
 }
 
+const char* node_state(vcmr::wf::NodeOutcome::State s) {
+  using State = vcmr::wf::NodeOutcome::State;
+  switch (s) {
+    case State::kWaiting: return "waiting";
+    case State::kRunning: return "running";
+    case State::kDone: return "done";
+    case State::kFailed: return "failed";
+    case State::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+void report_workflow(const vcmr::core::WorkflowRunResult& res) {
+  std::printf("workflow      : %s, %.1f s, %zu nodes\n",
+              res.completed ? "completed"
+                            : (res.hit_time_limit ? "TIME LIMIT" : "FAILED"),
+              res.total_seconds, res.nodes.size());
+  for (const vcmr::wf::NodeOutcome& n : res.nodes) {
+    std::int64_t backoffs = 0;
+    for (const auto& r : n.runs) backoffs += r.backoffs;
+    std::printf("  %-16s %-8s %d iteration(s)%s", n.name.c_str(),
+                node_state(n.state), n.iterations,
+                n.converged ? " [converged]" : "");
+    if (!n.runs.empty()) {
+      std::printf(", makespan %.1f s, dispatch wait %.1f s, %lld backoffs",
+                  n.finished_at < vcmr::SimTime::infinity()
+                      ? (n.finished_at - n.submitted_at).as_seconds()
+                      : 0.0,
+                  n.runs.front().dispatch_wait_s,
+                  static_cast<long long>(backoffs));
+    }
+    std::printf("\n");
+  }
+}
+
+std::string workflow_metrics_json(const std::string& scenario_path,
+                                  const vcmr::core::WorkflowRunResult& res) {
+  using vcmr::common::JsonWriter;
+  std::string nodes = "[";
+  for (std::size_t i = 0; i < res.nodes.size(); ++i) {
+    const vcmr::wf::NodeOutcome& n = res.nodes[i];
+    std::int64_t backoffs = 0;
+    for (const auto& r : n.runs) backoffs += r.backoffs;
+    JsonWriter nw;
+    nw.field("name", n.name)
+        .field("state", node_state(n.state))
+        .field("iterations", n.iterations)
+        .field("converged", n.converged)
+        .field("makespan_s", n.finished_at < vcmr::SimTime::infinity()
+                                 ? (n.finished_at - n.submitted_at).as_seconds()
+                                 : 0.0)
+        .field("dispatch_wait_s",
+               n.runs.empty() ? 0.0 : n.runs.front().dispatch_wait_s)
+        .field("backoffs", backoffs)
+        .field("output_bytes", n.output_bytes);
+    if (i > 0) nodes += ",";
+    nodes += nw.str();
+  }
+  nodes += "]";
+
+  JsonWriter wfj;
+  wfj.field("completed", res.completed)
+      .field("hit_time_limit", res.hit_time_limit)
+      .field("total_seconds", res.total_seconds)
+      .field_json("nodes", nodes);
+
+  JsonWriter top;
+  top.field("scenario", scenario_path)
+      .field_json("workflow", wfj.str())
+      .field_json("registry",
+                  vcmr::obs::metrics_json(
+                      vcmr::obs::MetricsRegistry::instance()));
+  return top.str() + "\n";
+}
+
 std::string run_metrics_json(const std::string& scenario_path,
                              const vcmr::core::RunOutcome& out) {
   using vcmr::common::JsonWriter;
@@ -220,16 +295,30 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) event_log = std::make_unique<obs::EventLog>();
 
     core::Cluster cluster(s);
-    const core::RunOutcome out = cluster.run_job();
-    report(out);
+    bool ok = false;
+    if (!s.workflow.empty()) {
+      // A <workflow> block takes over: run the DAG / iterative coordinator
+      // instead of the single flat job.
+      const core::WorkflowRunResult res = cluster.run_workflow();
+      report_workflow(res);
+      ok = res.completed;
+      if (!metrics_path.empty()) {
+        write_file(metrics_path, workflow_metrics_json(arg, res));
+        std::printf("metrics json  : %s\n", metrics_path.c_str());
+      }
+    } else {
+      const core::RunOutcome out = cluster.run_job();
+      report(out);
+      ok = out.metrics.completed;
+      if (!metrics_path.empty()) {
+        write_file(metrics_path, run_metrics_json(arg, out));
+        std::printf("metrics json  : %s\n", metrics_path.c_str());
+      }
+    }
 
     if (!snapshot_path.empty()) {
       write_file(snapshot_path, cluster.project().database().save());
       std::printf("database snapshot: %s\n", snapshot_path.c_str());
-    }
-    if (!metrics_path.empty()) {
-      write_file(metrics_path, run_metrics_json(arg, out));
-      std::printf("metrics json  : %s\n", metrics_path.c_str());
     }
     if (!trace_path.empty()) {
       write_file(trace_path,
@@ -237,7 +326,7 @@ int main(int argc, char** argv) {
                      "\n");
       std::printf("chrome trace  : %s\n", trace_path.c_str());
     }
-    return out.metrics.completed ? 0 : 2;
+    return ok ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vcmr_run: %s\n", e.what());
     return 1;

@@ -1,0 +1,281 @@
+// E20 — ALLOCATOR SCALABILITY (vcmr::net incremental re-leveling).
+//
+// The paper ran ~40 Emulab machines; BOINC projects run 100k–1M volunteer
+// hosts. What stands between the two is the simulator's own cost model: the
+// historical allocator re-ran global water-filling over *every* active flow
+// on *every* flow start/finish/churn event, so event cost grew with fleet
+// size and a day of simulated churn at BOINC scale was unreachable. The
+// incremental allocator re-levels only the connected component of flows
+// sharing access links with the changed ones; with volunteer traffic
+// (random peer pairs, mean link degree well under the percolation
+// threshold) components stay tiny no matter how large the fleet gets.
+//
+// Sweep: host count {100, 1k, 10k, 100k} under seti_day-style availability
+// churn (each host replays a trace host's on/off windows with a per-host
+// phase jitter) plus a steady random peer-to-peer transfer load of ~N/4
+// concurrent flows. Reported per row: events/sec, wall-clock seconds per
+// simulated second, and peak RSS. A kGlobal baseline row at the same host
+// count pins the speedup headline — the incremental default must be >= 5x
+// cheaper per simulated second at 10k hosts.
+//
+// Writes BENCH_SCALE.json (JSON-lines rows + consolidated doc) at the
+// repository root by default. argv: [max_hosts] [trace_path] [out_path];
+// CI's scale-smoke leg runs `bench_scale 1000` for a bounded check.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "bench_util.h"
+#include "fault/fault.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+
+namespace vcmr {
+namespace {
+
+constexpr int kTraceHosts = 8;  ///< hosts in seti_day.csv
+
+// The seti_day trace when run from the repository root; a synthetic
+// equivalent (same shape as vcmr_tracegen's output) when run elsewhere.
+std::string availability_csv(const char* path) {
+  std::ifstream in(path);
+  if (in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  std::string csv;
+  for (int h = 0; h < kTraceHosts; ++h) {
+    const int off = 200 + 180 * h;
+    csv += std::to_string(h) + ",0," + std::to_string(off) + "\n";
+    csv += std::to_string(h) + "," + std::to_string(off + 120) + ",1800\n";
+  }
+  return csv;
+}
+
+/// Keeps ~n_sessions transfers in flight: each session starts a flow
+/// between a random peer pair and, when it completes or fails, rests
+/// briefly and starts the next one.
+class TrafficGen {
+ public:
+  TrafficGen(sim::Simulation& sim, net::Network& net,
+             std::vector<NodeId> nodes, std::uint64_t seed)
+      : sim_(sim), net_(net), nodes_(std::move(nodes)), rng_(seed) {}
+
+  void launch(int n_sessions) {
+    for (int i = 0; i < n_sessions; ++i) {
+      schedule_next(SimTime::seconds(rng_.uniform() * 10.0));
+    }
+  }
+
+ private:
+  void schedule_next(SimTime delay) {
+    sim_.after(delay, [this] { start_one(); });
+  }
+
+  void start_one() {
+    const auto pick = [this] {
+      return nodes_[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(nodes_.size()) - 1))];
+    };
+    net::FlowSpec spec;
+    spec.src = pick();
+    do {
+      spec.dst = pick();
+    } while (spec.dst == spec.src);
+    spec.bytes = 256 * 1024 + rng_.uniform_int(0, 1792 * 1024);
+    spec.priority = rng_.chance(0.2) ? net::FlowPriority::kBackground
+                                     : net::FlowPriority::kForeground;
+    const SimTime rest = SimTime::seconds(0.1 + rng_.uniform() * 2.0);
+    spec.on_complete = [this, rest] { schedule_next(rest); };
+    spec.on_fail = [this, rest](net::NetError) { schedule_next(rest); };
+    net_.start_flow(std::move(spec));
+  }
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  std::vector<NodeId> nodes_;
+  common::Rng rng_;
+};
+
+struct RowResult {
+  int n_hosts = 0;
+  const char* mode = "";
+  double sim_seconds = 0;
+  std::int64_t events = 0;
+  double wall_s = 0;
+  double peak_rss_mb = 0;
+
+  double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  double wall_per_sim_sec() const {
+    return sim_seconds > 0 ? wall_s / sim_seconds : 0.0;
+  }
+};
+
+RowResult run_row(int n_hosts, double sim_seconds, net::AllocMode mode,
+                  const std::vector<fault::LinkFault>& trace) {
+  sim::Simulation sim;
+  net::Network net(sim);
+  net.set_alloc_mode(mode);
+
+  // Volunteer-grade asymmetric access links (1 Mbit up / 8 Mbit down).
+  net::NodeConfig cfg;
+  cfg.up_bps = 1e6 / 8;
+  cfg.down_bps = 8e6 / 8;
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(n_hosts));
+  for (int i = 0; i < n_hosts; ++i) nodes.push_back(net.add_node(cfg));
+
+  // Churn: host i replays trace host (i mod kTraceHosts)'s down windows,
+  // phase-jittered so residue classes don't toggle in lockstep.
+  common::Rng jitter_rng(99);
+  const SimTime end = SimTime::seconds(sim_seconds);
+  for (int i = 0; i < n_hosts; ++i) {
+    const SimTime shift = SimTime::seconds(jitter_rng.uniform() * 60.0);
+    const NodeId node = nodes[static_cast<std::size_t>(i)];
+    for (const fault::LinkFault& lf : trace) {
+      if (lf.host != i % kTraceHosts) continue;
+      const SimTime down = lf.down_at + shift;
+      if (down < end) {
+        sim.at(down, [&net, node] { net.set_online(node, false); });
+      }
+      if (lf.up_at < SimTime::infinity() && lf.up_at + shift < end) {
+        sim.at(lf.up_at + shift, [&net, node] { net.set_online(node, true); });
+      }
+    }
+  }
+
+  TrafficGen gen(sim, net, nodes, 1234);
+  gen.launch(std::max(4, n_hosts / 4));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run(end);
+  RowResult row;
+  row.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  row.n_hosts = n_hosts;
+  row.mode = mode == net::AllocMode::kIncremental ? "incremental" : "global";
+  row.sim_seconds = sim_seconds;
+  row.events = static_cast<std::int64_t>(sim.events_executed());
+  row.peak_rss_mb = static_cast<double>(obs::peak_rss_bytes()) / 1e6;
+  return row;
+}
+
+std::string row_json(const RowResult& r) {
+  bench::JsonRow row;
+  row.field("experiment", "E20")
+      .field("hosts", r.n_hosts)
+      .field("alloc_mode", r.mode)
+      .field("sim_seconds", r.sim_seconds)
+      .field("events_executed", r.events)
+      .field("wall_clock_s", r.wall_s)
+      .field("events_per_sec", r.events_per_sec())
+      .field("wall_per_sim_sec", r.wall_per_sim_sec())
+      .field("peak_rss_mb", r.peak_rss_mb);
+  return row.str();
+}
+
+void print_row(const RowResult& r) {
+  std::printf("%7d | %-11s | %7.0f | %9lld | %11.0f | %13.5f | %8.1f\n",
+              r.n_hosts, r.mode, r.sim_seconds,
+              static_cast<long long>(r.events), r.events_per_sec(),
+              r.wall_per_sim_sec(), r.peak_rss_mb);
+  std::fflush(stdout);  // rows take minutes; stream them as they land
+}
+
+void run(int max_hosts, const char* trace_path, const char* out_path) {
+  const std::vector<fault::LinkFault> trace =
+      fault::compile_availability_trace(availability_csv(trace_path),
+                                        kTraceHosts);
+
+  std::printf("E20 — ALLOCATOR SCALABILITY (seti_day churn, ~N/4 concurrent "
+              "flows, max %d hosts)\n\n", max_hosts);
+  std::printf("%7s | %-11s | %7s | %9s | %11s | %13s | %8s\n", "hosts",
+              "alloc", "sim (s)", "events", "events/s", "wall/sim-sec",
+              "RSS (MB)");
+  std::printf("%s\n", std::string(84, '=').c_str());
+
+  std::vector<std::string> rows;
+
+  // Incremental sweep; larger fleets run shorter sim windows (the metric is
+  // normalised per simulated second, and the RSS row still peaks).
+  struct Point {
+    int hosts;
+    double sim_s;
+  };
+  RowResult incr_at_baseline;
+  const int baseline_hosts = std::min(10000, max_hosts);
+  for (const Point p : {Point{100, 1800}, Point{1000, 1800},
+                        Point{10000, 300}, Point{100000, 120}}) {
+    if (p.hosts > max_hosts) continue;
+    const RowResult r =
+        run_row(p.hosts, p.sim_s, net::AllocMode::kIncremental, trace);
+    if (p.hosts == baseline_hosts) incr_at_baseline = r;
+    print_row(r);
+    rows.push_back(row_json(r));
+  }
+
+  // Global-recompute baseline at the largest shared host count. Very
+  // short sim window: per-event cost is what is being measured, the
+  // global mode exists only to be compared against, and at 10k hosts it
+  // burns CPU-*minutes* per simulated second — which is the point. (The
+  // window covers only the traffic ramp, so it *under*states global's
+  // steady-state cost; the speedup headline is conservative.)
+  const RowResult global = run_row(
+      baseline_hosts, baseline_hosts >= 10000 ? 5 : 120,
+      net::AllocMode::kGlobal, trace);
+  print_row(global);
+  rows.push_back(row_json(global));
+
+  const double speedup =
+      incr_at_baseline.wall_per_sim_sec() > 0
+          ? global.wall_per_sim_sec() / incr_at_baseline.wall_per_sim_sec()
+          : 0.0;
+  std::printf(
+      "\nIncremental vs global at %d hosts: %.1fx cheaper per simulated "
+      "second.\nExpected shape: incremental wall/sim-sec stays near-flat "
+      "with fleet size\n(components are O(1) under volunteer traffic); "
+      "global grows with the\nnumber of active flows and is already "
+      "unusable at 10k hosts.\n",
+      baseline_hosts, speedup);
+
+  std::string doc = "{\"experiment\": \"E20\", \"max_hosts\": " +
+                    std::to_string(max_hosts) + ", \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) doc += ", ";
+    doc += rows[i];
+  }
+  doc += "], \"headline\": ";
+  bench::JsonRow headline;
+  headline.field("baseline_hosts", baseline_hosts)
+      .field("incremental_wall_per_sim_sec",
+             incr_at_baseline.wall_per_sim_sec())
+      .field("global_wall_per_sim_sec", global.wall_per_sim_sec())
+      .field("speedup_vs_global_x", speedup)
+      .field("peak_rss_mb", global.peak_rss_mb);
+  doc += headline.str();
+  doc += "}\n";
+  std::ofstream out(out_path);
+  out << doc;
+  std::printf("wrote %s\n", out_path);
+
+  for (const auto& r : rows) std::printf("%s\n", r.c_str());
+}
+
+}  // namespace
+}  // namespace vcmr
+
+int main(int argc, char** argv) {
+  vcmr::bench::silence_logs();
+  const int max_hosts = argc > 1 ? std::atoi(argv[1]) : 100000;
+  const char* trace = argc > 2 ? argv[2] : "scenarios/traces/seti_day.csv";
+  const char* out = argc > 3 ? argv[3] : "BENCH_SCALE.json";
+  vcmr::run(max_hosts, trace, out);
+  return 0;
+}

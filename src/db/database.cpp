@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/error.h"
 #include "common/strings.h"
@@ -92,7 +93,9 @@ ResultRecord& Database::create_result(const ResultRecord& proto) {
                std::to_string(results_by_wu_[rec.wu].size());
   }
   results_by_wu_[rec.wu].push_back(id);
-  return results_.emplace(id, std::move(rec)).first->second;
+  ResultRecord& stored = results_.emplace(id, std::move(rec)).first->second;
+  if (stored.server_state == ServerState::kUnsent) index_unsent(stored);
+  return stored;
 }
 
 MrJobRecord& Database::create_mr_job(const MrJobRecord& proto) {
@@ -155,6 +158,50 @@ std::optional<WorkUnitId> Database::find_workunit_by_name(
   return it->second;
 }
 
+// --- state transitions ----------------------------------------------------------
+
+void Database::index_unsent(const ResultRecord& r) {
+  const WorkUnitRecord& wu = workunit(r.wu);
+  if (wu.audit) {
+    unsent_audit_.insert(r.id);
+  } else {
+    unsent_bulk_.insert(r.id);
+    unsent_bulk_by_job_[wu.mr_job].insert(r.id);
+  }
+}
+
+void Database::unindex_unsent(const ResultRecord& r) {
+  // The audit flag may have flipped since classification; erase from both
+  // queues unconditionally.
+  unsent_audit_.erase(r.id);
+  unsent_bulk_.erase(r.id);
+  const auto it = unsent_bulk_by_job_.find(workunit(r.wu).mr_job);
+  if (it != unsent_bulk_by_job_.end()) {
+    it->second.erase(r.id);
+    if (it->second.empty()) unsent_bulk_by_job_.erase(it);
+  }
+}
+
+void Database::set_server_state(ResultId id, ServerState s) {
+  ResultRecord& r = result(id);
+  if (r.server_state == s) return;
+  if (r.server_state == ServerState::kUnsent) unindex_unsent(r);
+  r.server_state = s;
+  if (s == ServerState::kUnsent) index_unsent(r);
+}
+
+void Database::set_workunit_audit(WorkUnitId id, bool audit) {
+  WorkUnitRecord& wu = workunit(id);
+  if (wu.audit == audit) return;
+  wu.audit = audit;
+  for (const ResultId rid : results_of(id)) {
+    const ResultRecord& r = result(rid);
+    if (r.server_state != ServerState::kUnsent) continue;
+    unindex_unsent(r);
+    index_unsent(r);
+  }
+}
+
 // --- queries -------------------------------------------------------------------
 
 std::vector<ResultId> Database::results_of(WorkUnitId wu) const {
@@ -164,9 +211,9 @@ std::vector<ResultId> Database::results_of(WorkUnitId wu) const {
 
 std::vector<ResultId> Database::unsent_results() const {
   std::vector<ResultId> out;
-  for (const auto& [id, r] : results_) {
-    if (r.server_state == ServerState::kUnsent) out.push_back(id);
-  }
+  out.reserve(unsent_audit_.size() + unsent_bulk_.size());
+  std::merge(unsent_audit_.begin(), unsent_audit_.end(), unsent_bulk_.begin(),
+             unsent_bulk_.end(), std::back_inserter(out));
   return out;
 }
 
@@ -457,6 +504,9 @@ Database Database::load(const std::string& snapshot) {
       r.granted_credit = n.child_double("granted_credit");
       out.results_by_wu_[r.wu].push_back(r.id);
       out.results_[r.id] = r;
+      // Workunits precede results in the snapshot, so the audit flag that
+      // classifies the ready queues is already loaded.
+      if (r.server_state == ServerState::kUnsent) out.index_unsent(out.results_[r.id]);
       out.next_result_ = std::max(out.next_result_, r.id.value() + 1);
     } else if (n.name() == "mr_job") {
       MrJobRecord j;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,11 +46,31 @@ class Database {
   std::optional<FileId> find_file_by_name(const std::string& name) const;
   std::optional<WorkUnitId> find_workunit_by_name(const std::string& name) const;
 
+  // --- state transitions (index-maintaining) -------------------------------
+  /// Change a result's server_state. This is the only supported way to move
+  /// a result in or out of kUnsent: it keeps the feeder's ready queues
+  /// (unsent_audit / unsent_bulk / unsent_bulk_by_job) in sync, replacing
+  /// the full-table scan the feeder used to do per pass. No-op if the state
+  /// is unchanged.
+  void set_server_state(ResultId id, ServerState s);
+  /// Flip a workunit's audit flag, reclassifying its still-unsent results
+  /// between the audit-first and bulk ready queues (the scheduler marks
+  /// spot-check WUs audit after their replicas were created).
+  void set_workunit_audit(WorkUnitId id, bool audit);
+
   // --- queries used by the daemons -----------------------------------------
   /// Results of a workunit, id order.
   std::vector<ResultId> results_of(WorkUnitId wu) const;
-  /// All unsent results, id order (feeder source).
+  /// All unsent results, id order (merged from the ready queues).
   std::vector<ResultId> unsent_results() const;
+  /// Feeder ready queues: unsent results of audit-flagged workunits, id
+  /// order; unsent bulk results, id order; and the bulk queue sharded by
+  /// job (the feeder's fair-share round-robin walks one shard per round).
+  const std::set<ResultId>& unsent_audit() const { return unsent_audit_; }
+  const std::set<ResultId>& unsent_bulk() const { return unsent_bulk_; }
+  const std::map<MrJobId, std::set<ResultId>>& unsent_bulk_by_job() const {
+    return unsent_bulk_by_job_;
+  }
   /// In-progress results whose report deadline has passed at `now`.
   std::vector<ResultId> timed_out_results(SimTime now) const;
   /// Workunits flagged for transitioner attention.
@@ -84,6 +105,9 @@ class Database {
   void restore_from(const std::string& snapshot);
 
  private:
+  void index_unsent(const ResultRecord& r);
+  void unindex_unsent(const ResultRecord& r);
+
   std::map<AppId, AppRecord> apps_;
   std::map<HostId, HostRecord> hosts_;
   std::map<FileId, FileRecord> files_;
@@ -94,6 +118,12 @@ class Database {
   std::map<std::string, WorkUnitId> wu_by_name_;
   std::map<WorkUnitId, std::vector<ResultId>> results_by_wu_;
   std::map<WorkUnitId, bool> transition_flag_;
+  /// Feeder ready queues, maintained at create_result / set_server_state /
+  /// set_workunit_audit time so no daemon pass ever rescans the result
+  /// table for unsent work.
+  std::set<ResultId> unsent_audit_;
+  std::set<ResultId> unsent_bulk_;
+  std::map<MrJobId, std::set<ResultId>> unsent_bulk_by_job_;
 
   std::int64_t next_app_ = 1;
   std::int64_t next_host_ = 1;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "common/error.h"
 
@@ -18,7 +20,9 @@ const char* to_string(NetError e) {
 }
 
 Network::Network(sim::Simulation& sim)
-    : sim_(sim), fail_rng_(sim.rng_stream("net.flowfail")) {}
+    : sim_(sim), fail_rng_(sim.rng_stream("net.flowfail")) {
+  check_alloc_ = std::getenv("VCMR_NET_CHECK_ALLOC") != nullptr;
+}
 
 NodeId Network::add_node(const NodeConfig& cfg) {
   const NodeId id{static_cast<std::int64_t>(nodes_.size())};
@@ -61,7 +65,7 @@ void Network::set_link_scale(NodeId id, double scale) {
   Node& n = node(id);
   if (n.link_scale == scale) return;
   n.link_scale = scale;
-  reallocate();
+  reallocate({up_key(id), down_key(id)});
 }
 
 double Network::link_scale(NodeId id) const { return node(id).link_scale; }
@@ -109,6 +113,19 @@ double Network::resource_capacity(std::int64_t key) const {
   return (key >= 0 ? n.cfg.up_bps : n.cfg.down_bps) * n.link_scale;
 }
 
+void Network::index_flow(FlowId id, const Flow& f) {
+  for (const auto r : resources_of(f)) flows_by_resource_[r].insert(id);
+}
+
+void Network::unindex_flow(FlowId id, const Flow& f) {
+  for (const auto r : resources_of(f)) {
+    const auto it = flows_by_resource_.find(r);
+    if (it == flows_by_resource_.end()) continue;
+    it->second.erase(id);
+    if (it->second.empty()) flows_by_resource_.erase(it);
+  }
+}
+
 FlowId Network::start_flow(FlowSpec spec) {
   require(spec.bytes >= 0, "start_flow: negative size");
   const FlowId id{next_flow_id_++};
@@ -134,7 +151,7 @@ FlowId Network::start_flow(FlowSpec spec) {
 
   Flow f;
   f.spec = std::move(spec);
-  f.last_update = sim_.now();
+  f.anchor_time = sim_.now();
   if (flow_failure_rate_ > 0.0 &&
       f.spec.src != failure_exempt_ && f.spec.dst != failure_exempt_ &&
       fail_rng_.chance(flow_failure_rate_)) {
@@ -142,8 +159,10 @@ FlowId Network::start_flow(FlowSpec spec) {
     f.fail_after_bytes = static_cast<Bytes>(
         fail_rng_.uniform() * static_cast<double>(f.spec.bytes));
   }
+  const auto dirty = resources_of(f);
+  index_flow(id, f);
   flows_.emplace(id, std::move(f));
-  reallocate();
+  reallocate(dirty);
   return id;
 }
 
@@ -152,8 +171,10 @@ void Network::cancel_flow(FlowId id) {
   if (it == flows_.end()) return;
   settle(it->second);
   sim_.cancel(it->second.completion);
+  const auto dirty = resources_of(it->second);
+  unindex_flow(id, it->second);
   flows_.erase(it);
-  reallocate();
+  reallocate(dirty);
 }
 
 bool Network::flow_active(FlowId id) const { return flows_.count(id) > 0; }
@@ -183,30 +204,68 @@ double Network::instantaneous_rx_bps(NodeId id) const {
 
 void Network::settle(Flow& f) {
   const SimTime now = sim_.now();
-  if (now > f.last_update && f.rate > 0.0) {
-    const double dt = (now - f.last_update).as_seconds();
-    auto delta = static_cast<Bytes>(std::llround(f.rate * dt));
-    delta = std::min(delta, f.spec.bytes - f.done);
-    f.done += delta;
-    node(f.spec.src).traffic.bytes_sent += delta;
-    node(f.spec.dst).traffic.bytes_received += delta;
-    if (f.spec.relay) node(*f.spec.relay).traffic.bytes_relayed += delta;
-    total_bytes_ += delta;
+  if (f.rate > 0.0 && now > f.anchor_time) {
+    const double dt = (now - f.anchor_time).as_seconds();
+    Bytes target = f.anchor_done + static_cast<Bytes>(std::llround(f.rate * dt));
+    target = std::min(target, f.spec.bytes);
+    if (target > f.done) {
+      const Bytes delta = target - f.done;
+      node(f.spec.src).traffic.bytes_sent += delta;
+      node(f.spec.dst).traffic.bytes_received += delta;
+      if (f.spec.relay) node(*f.spec.relay).traffic.bytes_relayed += delta;
+      total_bytes_ += delta;
+      f.done = target;
+    }
   }
-  f.last_update = now;
 }
 
-void Network::reallocate() {
-  // 1. Settle all flows to the current instant.
-  for (auto& [id, f] : flows_) settle(f);
+Network::Milestone Network::milestone_of(const Flow& f) {
+  // The injection is armed only for thresholds strictly inside the
+  // transfer: a draw that lands exactly on spec.bytes (guaranteed for a
+  // zero-byte flow) is a completion, never a failure. The pre-helper code
+  // applied this guard on the scheduling path but not on the already-past-
+  // milestone path, so such flows misreported kInjectedFailure.
+  const bool armed =
+      f.fail_after_bytes >= 0 && f.fail_after_bytes < f.spec.bytes;
+  if (armed && f.done < f.fail_after_bytes) return {f.fail_after_bytes, true};
+  return {f.spec.bytes, false};
+}
 
-  // 2. Progressive filling, foreground first, background on the residue.
-  std::map<std::int64_t, double> cap;       // remaining capacity per resource
-  for (auto& [id, f] : flows_) {
-    for (const auto r : resources_of(f)) {
+std::set<FlowId> Network::component_of(
+    const std::vector<std::int64_t>& dirty) const {
+  std::set<FlowId> comp;
+  std::set<std::int64_t> seen;
+  std::vector<std::int64_t> frontier;
+  for (const auto r : dirty) {
+    if (seen.insert(r).second) frontier.push_back(r);
+  }
+  while (!frontier.empty()) {
+    const auto r = frontier.back();
+    frontier.pop_back();
+    const auto it = flows_by_resource_.find(r);
+    if (it == flows_by_resource_.end()) continue;
+    for (const FlowId id : it->second) {
+      if (!comp.insert(id).second) continue;
+      for (const auto r2 : resources_of(flows_.at(id))) {
+        if (seen.insert(r2).second) frontier.push_back(r2);
+      }
+    }
+  }
+  return comp;
+}
+
+std::map<FlowId, double> Network::level(const std::set<FlowId>& ids) const {
+  // Progressive filling, foreground first, background on the residue —
+  // identical arithmetic to the historical global pass, merely restricted
+  // to `ids` (iterated in flow-id order, resources in key order, so the
+  // per-resource operation sequence matches the global fill's exactly).
+  std::map<FlowId, double> rate;
+  std::map<std::int64_t, double> cap;  // remaining capacity per resource
+  for (const FlowId id : ids) {
+    rate[id] = 0.0;
+    for (const auto r : resources_of(flows_.at(id))) {
       cap.emplace(r, resource_capacity(r));
     }
-    f.rate = 0.0;
   }
 
   for (const FlowPriority cls :
@@ -214,7 +273,8 @@ void Network::reallocate() {
     // Flows of this class still awaiting a rate.
     std::map<FlowId, const Flow*> pending;
     std::map<std::int64_t, int> users;  // resource -> #pending flows
-    for (const auto& [id, f] : flows_) {
+    for (const FlowId id : ids) {
+      const Flow& f = flows_.at(id);
       if (f.spec.priority != cls) continue;
       pending.emplace(id, &f);
       for (const auto r : resources_of(f)) ++users[r];
@@ -239,7 +299,7 @@ void Network::reallocate() {
           ++it;
           continue;
         }
-        flows_.at(it->first).rate = best_share;
+        rate[it->first] = best_share;
         for (const auto r : rs) {
           cap[r] -= best_share;
           --users[r];
@@ -248,47 +308,86 @@ void Network::reallocate() {
       }
     }
   }
+  return rate;
+}
 
-  // 3. Reschedule each flow's next milestone (injected failure or finish).
-  const SimTime now = sim_.now();
-  for (auto& [id, f] : flows_) {
-    sim_.cancel(f.completion);
-    f.completion = sim::EventHandle{};
-    const Bytes target = (f.fail_after_bytes >= 0 && f.done < f.fail_after_bytes)
-                             ? f.fail_after_bytes
-                             : f.spec.bytes;
-    const Bytes left = target - f.done;
-    if (left <= 0) {
-      // Already past the milestone; fire now.
-      const FlowId fid = id;
-      const bool is_failure = f.fail_after_bytes >= 0 && target == f.fail_after_bytes;
-      f.completion = sim_.after(SimTime::zero(), [this, fid, is_failure] {
-        if (is_failure) {
-          fail_flow(fid, NetError::kInjectedFailure);
-        } else {
-          complete_flow(fid);
-        }
-      });
-      continue;
-    }
-    if (f.rate < 1e-3) {
-      // Stalled (starved background class) or floating-point residue from
-      // the water-filling subtraction; a sub-millibyte/s rate would also
-      // overflow SimTime when converted to a completion instant.
-      f.rate = 0.0;
-      continue;
-    }
-    const double secs = static_cast<double>(left) / f.rate;
-    const FlowId fid = id;
-    const bool is_failure = target == f.fail_after_bytes && f.fail_after_bytes >= 0 &&
-                            f.fail_after_bytes < f.spec.bytes;
-    f.completion = sim_.at(now + SimTime::seconds(secs), [this, fid, is_failure] {
-      if (is_failure) {
-        fail_flow(fid, NetError::kInjectedFailure);
-      } else {
-        complete_flow(fid);
+void Network::reallocate(const std::vector<std::int64_t>& dirty) {
+  // 1. The flows whose allocation can have changed: the connected component
+  // around the dirty resources (everything in kGlobal mode).
+  std::set<FlowId> comp;
+  if (alloc_mode_ == AllocMode::kGlobal) {
+    for (const auto& [id, f] : flows_) comp.insert(id);
+  } else {
+    comp = component_of(dirty);
+  }
+
+  if (!comp.empty()) {
+    // 2. Water-fill the component alone.
+    const std::map<FlowId, double> leveled = level(comp);
+
+    // 3. Apply. A flow whose rate comes out bit-identical keeps its anchor
+    // and its scheduled completion event untouched; only actual rate
+    // changes settle, re-anchor, and reschedule. Because kGlobal levels a
+    // superset but every extra flow's rate is unchanged by construction,
+    // both modes perform the same mutations here.
+    const SimTime now = sim_.now();
+    for (const FlowId id : comp) {
+      Flow& f = flows_.at(id);
+      double r = leveled.at(id);
+      if (r < 1e-3) {
+        // Stalled (starved background class) or floating-point residue from
+        // the water-filling subtraction; a sub-millibyte/s rate would also
+        // overflow SimTime when converted to a completion instant.
+        r = 0.0;
       }
-    });
+      if (f.leveled && r == f.rate) continue;
+
+      settle(f);  // credit progress at the old rate, then re-anchor
+      f.anchor_done = f.done;
+      f.anchor_time = now;
+      f.rate = r;
+      f.leveled = true;
+      sim_.cancel(f.completion);
+      f.completion = sim::EventHandle{};
+
+      const Milestone m = milestone_of(f);
+      const Bytes left = m.target - f.done;
+      const FlowId fid = id;
+      if (left <= 0) {
+        // Already past the milestone; fire now. milestone_of() never
+        // reports an armed threshold at or past `done`, so this is always
+        // a completion.
+        f.completion =
+            sim_.after(SimTime::zero(), [this, fid] { complete_flow(fid); });
+        continue;
+      }
+      if (f.rate == 0.0) continue;
+      const double secs = static_cast<double>(left) / f.rate;
+      const bool is_failure = m.is_failure;
+      f.completion =
+          sim_.at(now + SimTime::seconds(secs), [this, fid, is_failure] {
+            if (is_failure) {
+              fail_flow(fid, NetError::kInjectedFailure);
+            } else {
+              complete_flow(fid);
+            }
+          });
+    }
+  }
+
+  if (check_alloc_) check_against_oracle();
+}
+
+void Network::check_against_oracle() const {
+  std::set<FlowId> all;
+  for (const auto& [id, f] : flows_) all.insert(id);
+  const std::map<FlowId, double> oracle = level(all);
+  for (const auto& [id, f] : flows_) {
+    double r = oracle.at(id);
+    if (r < 1e-3) r = 0.0;
+    require(r == f.rate,
+            "VCMR_NET_CHECK_ALLOC: incremental allocation diverged from the "
+            "global water-filling oracle");
   }
 }
 
@@ -308,8 +407,10 @@ void Network::complete_flow(FlowId id) {
     f.done = f.spec.bytes;
   }
   auto cb = std::move(f.spec.on_complete);
+  const auto dirty = resources_of(f);
+  unindex_flow(id, f);
   flows_.erase(it);
-  reallocate();
+  reallocate(dirty);
   if (cb) cb();
 }
 
@@ -319,8 +420,10 @@ void Network::fail_flow(FlowId id, NetError err) {
   settle(it->second);
   auto cb = std::move(it->second.spec.on_fail);
   sim_.cancel(it->second.completion);
+  const auto dirty = resources_of(it->second);
+  unindex_flow(id, it->second);
   flows_.erase(it);
-  reallocate();
+  reallocate(dirty);
   if (cb) cb(err);
 }
 

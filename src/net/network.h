@@ -12,10 +12,21 @@
 // TCP-Nice (§III.D future work) is modelled by a two-class allocator:
 // kBackground flows receive only capacity left over after all kForeground
 // flows are allocated, emulating Nice's yield-to-foreground behaviour.
+//
+// The allocator is *incremental*: a per-resource index (access-link key →
+// flows using it) lets every flow start/finish/cancel/degrade re-level only
+// the connected component of flows that share resources — transitively —
+// with the changed ones. Max-min rates in one component are independent of
+// every other component, so flows outside it keep both their rates and
+// their already-scheduled completion events. AllocMode::kGlobal re-levels
+// everything on every change (the pre-incremental behaviour, kept as the
+// bench baseline), and VCMR_NET_CHECK_ALLOC cross-checks each incremental
+// pass against a full global water-filling oracle.
 
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,6 +38,13 @@ namespace vcmr::net {
 
 /// Two-class priority used by the TCP-Nice model.
 enum class FlowPriority { kForeground, kBackground };
+
+/// How reallocate() scopes its work. kIncremental (the default) re-levels
+/// only the dirty connected component; kGlobal re-levels every flow on
+/// every change. Both modes compute bit-identical rates, milestones, and
+/// traffic counters — kGlobal exists as the oracle for the property suite
+/// and the baseline row in bench_scale.
+enum class AllocMode { kIncremental, kGlobal };
 
 struct NodeConfig {
   double up_bps = 100e6 / 8;    ///< uplink capacity, bytes/s (default 100 Mbit)
@@ -131,6 +149,14 @@ class Network {
     message_drop_ = std::move(hook);
   }
 
+  // --- allocator scoping ------------------------------------------------
+  void set_alloc_mode(AllocMode m) { alloc_mode_ = m; }
+  AllocMode alloc_mode() const { return alloc_mode_; }
+  /// Debug cross-check: after every reallocation, recompute the full global
+  /// water-filling and require every active flow's rate to match exactly.
+  /// Also enabled by the VCMR_NET_CHECK_ALLOC environment variable.
+  void set_check_alloc(bool on) { check_alloc_ = on; }
+
   // --- accounting -------------------------------------------------------
   const NodeTraffic& traffic(NodeId id) const;
   /// Total bytes moved by completed flows.
@@ -154,19 +180,56 @@ class Network {
     FlowSpec spec;
     Bytes done = 0;
     double rate = 0.0;           ///< bytes/s under current allocation
-    SimTime last_update;
+    /// Progress anchor: `done` at any instant is anchor_done plus the bytes
+    /// accrued at `rate` since anchor_time, rounded once. Re-anchored only
+    /// when the rate changes, so the bytes a settle credits depend on
+    /// (anchor, rate, now) alone — not on how many intermediate
+    /// reallocations happened to settle the flow along the way. That
+    /// path-independence is what lets incremental and global modes agree
+    /// bit-for-bit on every counter.
+    Bytes anchor_done = 0;
+    SimTime anchor_time;
+    bool leveled = false;        ///< been through the allocator at least once
     sim::EventHandle completion;
-    std::optional<SimTime> injected_fail_at;  ///< absolute progress point
     Bytes fail_after_bytes = -1;  ///< injected failure threshold; -1 = none
   };
+
+  /// Next scheduled progress point of a flow: either the armed injected
+  /// failure (strictly inside the transfer and not yet reached) or normal
+  /// completion. Centralising this fixes the boundary bug where a threshold
+  /// equal to the flow size — always the case for a zero-byte flow selected
+  /// for injection — was misreported as kInjectedFailure.
+  struct Milestone {
+    Bytes target = 0;
+    bool is_failure = false;
+  };
+  static Milestone milestone_of(const Flow& f);
 
   Node& node(NodeId id);
   const Node& node(NodeId id) const;
 
-  /// Settle progress at `now`, recompute the max-min allocation for both
-  /// priority classes, and reschedule every completion event.
-  void reallocate();
+  /// Settle traffic accounting to `now` from the flow's anchor.
   void settle(Flow& f);
+  /// Re-level the connected component reachable from the dirty resource
+  /// keys (every flow in kGlobal mode): water-fill the component, then for
+  /// each flow whose rate actually changed, settle, re-anchor, and
+  /// reschedule its milestone event. Unchanged flows are left entirely
+  /// alone — same rate, same pending completion event.
+  void reallocate(const std::vector<std::int64_t>& dirty);
+  /// Flows sharing resources, transitively, with the given resource keys.
+  std::set<FlowId> component_of(const std::vector<std::int64_t>& dirty) const;
+  /// Two-class progressive filling restricted to `ids`. Max-min rates of a
+  /// connected component do not depend on flows outside it, and the
+  /// restricted fill performs the identical floating-point operations the
+  /// global fill would on this component, so the result is bit-equal.
+  std::map<FlowId, double> level(const std::set<FlowId>& ids) const;
+  /// VCMR_NET_CHECK_ALLOC: compare every stored rate against a fresh global
+  /// water-filling; throws on any mismatch.
+  void check_against_oracle() const;
+
+  void index_flow(FlowId id, const Flow& f);
+  void unindex_flow(FlowId id, const Flow& f);
+
   void complete_flow(FlowId id);
   void fail_flow(FlowId id, NetError err);
   /// Fails every flow that traverses `id` (endpoint or relay).
@@ -183,7 +246,12 @@ class Network {
   sim::Simulation& sim_;
   std::vector<Node> nodes_;
   std::map<FlowId, Flow> flows_;  ///< ordered: deterministic iteration
+  /// Per-resource flow index: resource key → flows currently using it.
+  /// Maintained at flow add/remove; drives component_of().
+  std::map<std::int64_t, std::set<FlowId>> flows_by_resource_;
   std::int64_t next_flow_id_ = 1;
+  AllocMode alloc_mode_ = AllocMode::kIncremental;
+  bool check_alloc_ = false;
   double flow_failure_rate_ = 0.0;
   NodeId failure_exempt_ = NodeId::invalid();
   std::function<bool()> message_drop_;

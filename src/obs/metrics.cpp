@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/error.h"
 
 namespace vcmr::obs {
@@ -103,6 +107,20 @@ ScopedMetricsRegistry::ScopedMetricsRegistry()
 
 ScopedMetricsRegistry::~ScopedMetricsRegistry() {
   MetricsRegistry::current() = prev_;
+}
+
+std::int64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace vcmr::obs

@@ -141,4 +141,9 @@ class ScopedMetricsRegistry {
   MetricsRegistry* prev_;
 };
 
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss),
+/// for the scale benchmarks' memory-footprint rows. Monotone over the
+/// process lifetime; 0 on platforms without getrusage.
+std::int64_t peak_rss_bytes();
+
 }  // namespace vcmr::obs

@@ -1,7 +1,6 @@
 #include "server/feeder.h"
 
 #include <algorithm>
-#include <map>
 
 namespace vcmr::server {
 
@@ -9,51 +8,69 @@ int Feeder::refill() {
   // Evict entries whose state changed under us (assigned, aborted, ...).
   const std::size_t before = cache_.size();
   std::erase_if(cache_, [this](ResultId id) {
-    return db_.result(id).server_state != db::ServerState::kUnsent;
+    if (db_.result(id).server_state == db::ServerState::kUnsent) return false;
+    members_.erase(id);
+    return true;
   });
   int touched = static_cast<int>(before - cache_.size());
-  const auto audit = [this](ResultId id) {
-    return db_.workunit(db_.result(id).wu).audit;
+
+  // Top up from the database's ready queues. The visit order below — audit
+  // ids ascending, then bulk interleaved one result per job per round (jobs
+  // ascending, ids ascending within a job) or plain id order without
+  // fair-share — is exactly the order the historical full-table scan
+  // produced, so the cache contents are unchanged; only the cost of a pass
+  // drops from O(results) to O(cache).
+  const auto take = [&](ResultId id) {
+    if (cache_.size() >= capacity()) return false;
+    if (members_.insert(id).second) {
+      cache_.push_back(id);
+      ++touched;
+    }
+    return true;
   };
-  if (cache_.size() < capacity()) {
-    // Top up audit-first: spot-check replicas must not queue behind bulk
-    // work, or a trust verdict waits a whole cache drain.
-    std::vector<ResultId> unsent = db_.unsent_results();
-    const auto bulk =
-        std::stable_partition(unsent.begin(), unsent.end(), audit);
-    if (fair_share_) {
-      // Cross-job fair-share: interleave the bulk tail one result per job
-      // per round, jobs in ascending job-id order, id order within each
-      // job. One job in the system → one group → exactly the historical
-      // global id order.
-      std::map<MrJobId, std::vector<ResultId>> by_job;
-      for (auto it = bulk; it != unsent.end(); ++it) {
-        by_job[db_.workunit(db_.result(*it).wu).mr_job].push_back(*it);
-      }
-      auto out = bulk;
-      for (std::size_t round = 0; out != unsent.end(); ++round) {
-        for (const auto& [job, ids] : by_job) {
-          if (round < ids.size()) *out++ = ids[round];
-        }
+  // Audit-first: spot-check replicas must not queue behind bulk work, or a
+  // trust verdict waits a whole cache drain.
+  for (const ResultId id : db_.unsent_audit()) {
+    if (!take(id)) break;
+  }
+  if (fair_share_ && cache_.size() < capacity()) {
+    // Cross-job fair-share: one result per job per round. One job in the
+    // system → one shard → exactly the historical global id order.
+    const auto& by_job = db_.unsent_bulk_by_job();
+    std::vector<std::set<ResultId>::const_iterator> cursor, end;
+    cursor.reserve(by_job.size());
+    end.reserve(by_job.size());
+    for (const auto& [job, ids] : by_job) {
+      cursor.push_back(ids.begin());
+      end.push_back(ids.end());
+    }
+    bool any = true, room = true;
+    while (any && room) {
+      any = false;
+      for (std::size_t i = 0; i < cursor.size() && room; ++i) {
+        if (cursor[i] == end[i]) continue;
+        any = true;
+        room = take(*cursor[i]++);
       }
     }
-    for (const ResultId id : unsent) {
-      if (cache_.size() >= capacity()) break;
-      if (std::find(cache_.begin(), cache_.end(), id) == cache_.end()) {
-        cache_.push_back(id);
-        ++touched;
-      }
+  } else if (cache_.size() < capacity()) {
+    for (const ResultId id : db_.unsent_bulk()) {
+      if (!take(id)) break;
     }
   }
+
   // The scheduler scans the cache in order, so audits also jump the line
   // within it. A stable pass keeps id order otherwise — with no audit work
   // this is a no-op and dispatch order is unchanged.
-  std::stable_partition(cache_.begin(), cache_.end(), audit);
+  std::stable_partition(cache_.begin(), cache_.end(), [this](ResultId id) {
+    return db_.workunit(db_.result(id).wu).audit;
+  });
   return touched;
 }
 
 void Feeder::remove(ResultId id) {
-  cache_.erase(std::remove(cache_.begin(), cache_.end(), id), cache_.end());
+  if (members_.erase(id) == 0) return;
+  cache_.erase(std::find(cache_.begin(), cache_.end(), id));
 }
 
 }  // namespace vcmr::server

@@ -12,7 +12,14 @@
 // instead; with a single job the interleave degenerates to exactly the
 // historical id order, so single-job dispatch — and every golden trace — is
 // unchanged.
+//
+// A refill pass reads the database's ready queues (per-job shards kept in
+// sync at state-transition time) instead of rescanning the result table,
+// and the cache carries a membership set alongside the dispatch-order
+// vector, so top-up dedup and scheduler take/invalidate do O(log n) lookups
+// rather than scanning the cache.
 
+#include <set>
 #include <vector>
 
 #include "db/database.h"
@@ -25,9 +32,10 @@ class Feeder {
       : db_(db), cache_size_(cache_size), fair_share_(fair_share) {}
 
   /// One feeder pass: drop entries that are no longer unsent, then top the
-  /// cache up from the database — audit results first, then round-robin
-  /// across jobs (fair-share) or in global result-id order. Returns the
-  /// number of cache rows touched (evicted + added), for daemon telemetry.
+  /// cache up from the database's ready queues — audit results first, then
+  /// round-robin across job shards (fair-share) or in global result-id
+  /// order. Returns the number of cache rows touched (evicted + added), for
+  /// daemon telemetry.
   int refill();
 
   const std::vector<ResultId>& cache() const { return cache_; }
@@ -38,7 +46,10 @@ class Feeder {
   /// Server crash/restore: the shared-memory segment does not survive a
   /// daemon restart, and cached ResultIds may not exist in a rolled-back
   /// database. The next refill() repopulates from the restored tables.
-  void clear() { cache_.clear(); }
+  void clear() {
+    cache_.clear();
+    members_.clear();
+  }
 
   std::size_t capacity() const { return static_cast<std::size_t>(cache_size_); }
 
@@ -46,7 +57,8 @@ class Feeder {
   db::Database& db_;
   int cache_size_;
   bool fair_share_;
-  std::vector<ResultId> cache_;
+  std::vector<ResultId> cache_;   ///< dispatch order (scheduler scans this)
+  std::set<ResultId> members_;    ///< same ids; O(log n) membership
 };
 
 }  // namespace vcmr::server

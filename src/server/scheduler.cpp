@@ -206,7 +206,7 @@ void Scheduler::handle_report(HostId host, const proto::ReportedResult& rep) {
     return;
   }
 
-  r->server_state = db::ServerState::kOver;
+  db_.set_server_state(rid, db::ServerState::kOver);
   r->outcome = rep.success ? db::Outcome::kSuccess : db::Outcome::kClientError;
   if (!rep.success && policy_) {
     // Runtime failure: break the host's valid streak right away.
@@ -245,7 +245,7 @@ void Scheduler::reconcile_known_results(
     // restart wiped it (or the assigning reply never arrived). Close it out
     // now instead of waiting for the report deadline.
     db::ResultRecord& r = db_.result(rid);
-    r.server_state = db::ServerState::kOver;
+    db_.set_server_state(rid, db::ServerState::kOver);
     r.outcome = db::Outcome::kLost;
     ++stats_.results_lost;
     sched_counter("results_lost").add();
@@ -420,7 +420,7 @@ void Scheduler::assign_work(const proto::SchedulerRequest& req,
     }
 
     // Assign.
-    r.server_state = db::ServerState::kInProgress;
+    db_.set_server_state(rid, db::ServerState::kInProgress);
     r.host = host;
     r.sent_time = sim_.now();
     r.report_deadline = sim_.now() + wu.delay_bound;
@@ -474,7 +474,9 @@ bool Scheduler::apply_trust_policy(const db::ResultRecord& r,
   switch (policy_->decide_assignment(host)) {
     case rep::AssignmentDecision::kSpotCheck:
       escalate();
-      wu.audit = true;  // feeder fast-tracks the check replicas
+      // Feeder fast-tracks the check replicas (reclassifies the WU's
+      // unsent results into the audit-first ready queue).
+      db_.set_workunit_audit(wu.id, true);
       ++stats_.spot_checks;
       sched_counter("spot_checks").add();
       if (trace_) trace_->point(sim_.now(), "scheduler", "spot_check", r.name);

@@ -6,7 +6,7 @@ void Transitioner::pass(SimTime now) {
   // (a) Report deadlines: overdue results become no-replies.
   for (const ResultId rid : db_.timed_out_results(now)) {
     db::ResultRecord& r = db_.result(rid);
-    r.server_state = db::ServerState::kOver;
+    db_.set_server_state(rid, db::ServerState::kOver);
     r.outcome = db::Outcome::kNoReply;
     ++stats_.results_timed_out;
     if (rep_ && r.host.valid()) rep_->record_error(r.host);
@@ -69,7 +69,7 @@ void Transitioner::transition(db::WorkUnitRecord& wu) {
     for (const ResultId rid : db_.results_of(wu.id)) {
       db::ResultRecord& r = db_.result(rid);
       if (r.server_state == db::ServerState::kUnsent) {
-        r.server_state = db::ServerState::kOver;
+        db_.set_server_state(rid, db::ServerState::kOver);
         r.outcome = db::Outcome::kAbandoned;
         ++stats_.results_aborted;
       }
@@ -84,7 +84,7 @@ void Transitioner::transition(db::WorkUnitRecord& wu) {
     for (const ResultId rid : db_.results_of(wu.id)) {
       db::ResultRecord& r = db_.result(rid);
       if (r.server_state == db::ServerState::kUnsent) {
-        r.server_state = db::ServerState::kOver;
+        db_.set_server_state(rid, db::ServerState::kOver);
         r.outcome = db::Outcome::kAbandoned;
         ++stats_.results_aborted;
       }

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/error.h"
 #include "core/cluster.h"
 #include "db/database.h"
@@ -76,6 +78,65 @@ TEST(Database, UnsentQuery) {
   const auto unsent = db.unsent_results();
   ASSERT_EQ(unsent.size(), 1u);
   EXPECT_EQ(unsent[0], r1.id);
+}
+
+// The ready-queue indexes must track every state transition: create,
+// assign, return to unsent, and audit reclassification of a work unit's
+// pending results.
+TEST(Database, UnsentIndexTracksTransitions) {
+  Database db;
+  const AppRecord& app = db.create_app("a");
+  const WorkUnitRecord& wu = db.create_workunit(wu_proto("wu0", app.id));
+  ResultRecord rp;
+  rp.wu = wu.id;
+  rp.server_state = ServerState::kUnsent;
+  const ResultId r1 = db.create_result(rp).id;
+  const ResultId r2 = db.create_result(rp).id;
+  EXPECT_EQ(db.unsent_bulk().size(), 2u);
+  EXPECT_TRUE(db.unsent_audit().empty());
+  ASSERT_EQ(db.unsent_bulk_by_job().size(), 1u);
+
+  db.set_server_state(r1, ServerState::kInProgress);
+  EXPECT_EQ(db.unsent_bulk(), std::set<ResultId>{r2});
+  db.set_server_state(r1, ServerState::kUnsent);
+  EXPECT_EQ(db.unsent_bulk(), (std::set<ResultId>{r1, r2}));
+
+  // Flipping the work unit to audit moves its pending results between
+  // queues; results already handed out are untouched.
+  db.set_server_state(r2, ServerState::kInProgress);
+  db.set_workunit_audit(wu.id, true);
+  EXPECT_EQ(db.unsent_audit(), std::set<ResultId>{r1});
+  EXPECT_TRUE(db.unsent_bulk().empty());
+  EXPECT_TRUE(db.unsent_bulk_by_job().empty());
+
+  // unsent_results() is the merged view of both queues.
+  const auto merged = db.unsent_results();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], r1);
+}
+
+// Snapshot load rebuilds the ready queues from the restored tables.
+TEST(Database, UnsentIndexSurvivesSnapshotRoundTrip) {
+  Database db;
+  const AppRecord& app = db.create_app("a");
+  const WorkUnitRecord& bulk_wu = db.create_workunit(wu_proto("wu0", app.id));
+  WorkUnitRecord audit_proto = wu_proto("wu1", app.id);
+  audit_proto.audit = true;
+  const WorkUnitRecord& audit_wu = db.create_workunit(audit_proto);
+  ResultRecord rp;
+  rp.wu = bulk_wu.id;
+  rp.server_state = ServerState::kUnsent;
+  const ResultId rb = db.create_result(rp).id;
+  rp.wu = audit_wu.id;
+  const ResultId ra = db.create_result(rp).id;
+  rp.wu = bulk_wu.id;
+  rp.server_state = ServerState::kInProgress;
+  db.create_result(rp);
+
+  const Database loaded = Database::load(db.save());
+  EXPECT_EQ(loaded.unsent_bulk(), std::set<ResultId>{rb});
+  EXPECT_EQ(loaded.unsent_audit(), std::set<ResultId>{ra});
+  EXPECT_EQ(loaded.unsent_results(), db.unsent_results());
 }
 
 TEST(Database, TimedOutQuery) {

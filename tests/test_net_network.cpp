@@ -300,6 +300,30 @@ TEST(Network, ManyFlowsZeroAndNonZeroMixed) {
   EXPECT_EQ(done, 10);
 }
 
+// Regression: a zero-byte flow selected for failure injection draws a
+// threshold of exactly 0 == spec.bytes. The old already-past-milestone
+// branch lacked the `fail_after_bytes < spec.bytes` guard the scheduling
+// branch had and misreported the flow as kInjectedFailure; a threshold at
+// the flow size is a completion — only strictly interior thresholds fail.
+TEST(Network, ZeroByteFlowCompletesUnderFullFailureInjection) {
+  Fixture f;
+  const NodeId a = f.add(100, 100);
+  const NodeId b = f.add(100, 100);
+  f.net.set_flow_failure_rate(1.0);  // every flow draws an injection point
+  bool done = false;
+  FlowSpec fs;
+  fs.src = a;
+  fs.dst = b;
+  fs.bytes = 0;
+  fs.on_complete = [&] { done = true; };
+  fs.on_fail = [](NetError e) {
+    FAIL() << "zero-byte flow reported " << to_string(e);
+  };
+  f.net.start_flow(std::move(fs));
+  f.sim.run();
+  EXPECT_TRUE(done);
+}
+
 TEST(Network, NodeComesBackOnline) {
   Fixture f;
   const NodeId a = f.add(100, 100);

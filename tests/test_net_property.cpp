@@ -105,6 +105,152 @@ TEST_P(NetFuzz, ReplayIsBitIdentical) {
 INSTANTIATE_TEST_SUITE_P(Seeds, NetFuzz,
                          ::testing::Values(1, 5, 17, 23, 99, 12345));
 
+// --- incremental == global allocation equivalence --------------------------
+//
+// The incremental allocator re-levels only the dirty connected component and
+// leaves every other flow's rate, anchor, and scheduled completion event
+// untouched. These runs pin that this is *exactly* equivalent — per-flow
+// rates, completion/failure times, and traffic counters bit-identical — to
+// re-levelling globally on every change, across randomized schedules that
+// mix flow starts (zero-byte, relayed, background), cancels, completions,
+// link degradation, partitions, and node outages.
+
+struct MixedTrace {
+  /// (flow index, finish time in µs, status): status 0 = completed,
+  /// 1 + NetError otherwise.
+  std::vector<std::tuple<int, std::int64_t, int>> outcomes;
+  /// flow_rate() for every started flow, sampled at fixed instants.
+  std::vector<double> sampled_rates;
+  std::vector<Bytes> sent, received, relayed;
+  Bytes total_bytes = 0;
+  std::int64_t finish_us = 0;
+
+  bool operator==(const MixedTrace&) const = default;
+};
+
+MixedTrace run_mixed_schedule(std::uint64_t seed, AllocMode mode,
+                              bool check_alloc) {
+  sim::Simulation sim(seed);
+  Network net(sim);
+  net.set_alloc_mode(mode);
+  net.set_check_alloc(check_alloc);
+  common::Rng rng = sim.rng_stream("mixed");
+
+  constexpr int kNodes = 12;
+  constexpr int kFlows = 70;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    NodeConfig c;
+    c.up_bps = rng.uniform(1e6, 20e6);
+    c.down_bps = rng.uniform(1e6, 20e6);
+    nodes.push_back(net.add_node(c));
+  }
+  net.set_flow_failure_rate(0.2);  // exercises the injected-failure paths
+
+  MixedTrace res;
+  auto ids = std::make_shared<std::vector<FlowId>>();
+  for (int i = 0; i < kFlows; ++i) {
+    const auto src = static_cast<std::size_t>(rng.uniform_int(0, kNodes - 1));
+    auto dst = static_cast<std::size_t>(rng.uniform_int(0, kNodes - 1));
+    if (dst == src) dst = (dst + 1) % kNodes;
+    // A few zero-byte flows (grep-style empty partitions) hit the milestone
+    // boundary; a few relayed flows couple four resources at once.
+    const Bytes bytes = rng.chance(0.1) ? 0 : rng.uniform_int(1000, 8'000'000);
+    const bool background = rng.chance(0.3);
+    std::optional<NodeId> relay;
+    if (rng.chance(0.15)) {
+      const auto r = static_cast<std::size_t>(rng.uniform_int(0, kNodes - 1));
+      if (r != src && r != dst) relay = nodes[r];
+    }
+    const SimTime start = SimTime::seconds(rng.uniform(0, 6));
+    sim.at(start, [&res, &net, &nodes, ids, i, src, dst, bytes, background,
+                   relay, &sim] {
+      FlowSpec fs;
+      fs.src = nodes[src];
+      fs.dst = nodes[dst];
+      fs.bytes = bytes;
+      fs.priority = background ? FlowPriority::kBackground
+                               : FlowPriority::kForeground;
+      fs.relay = relay;
+      fs.on_complete = [&res, &sim, i] {
+        res.outcomes.emplace_back(i, sim.now().as_micros(), 0);
+      };
+      fs.on_fail = [&res, &sim, i](NetError e) {
+        res.outcomes.emplace_back(i, sim.now().as_micros(),
+                                  1 + static_cast<int>(e));
+      };
+      ids->push_back(net.start_flow(std::move(fs)));
+    });
+  }
+  // Cancels of random flows (no-ops when already finished).
+  for (int i = 0; i < 10; ++i) {
+    const auto victim = static_cast<std::size_t>(rng.uniform_int(0, kFlows - 1));
+    sim.at(SimTime::seconds(rng.uniform(1, 8)), [&net, ids, victim] {
+      if (victim < ids->size()) net.cancel_flow((*ids)[victim]);
+    });
+  }
+  // Link degradation and restoration.
+  for (int i = 0; i < 8; ++i) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, kNodes - 1));
+    const double scale = rng.uniform(0.2, 1.0);
+    sim.at(SimTime::seconds(rng.uniform(0.5, 7)), [&net, &nodes, n, scale] {
+      net.set_link_scale(nodes[n], scale);
+    });
+  }
+  // A partition that forms and heals, and a node outage.
+  {
+    const auto p = static_cast<std::size_t>(rng.uniform_int(0, kNodes - 1));
+    sim.at(SimTime::seconds(rng.uniform(2, 5)), [&net, &nodes, p] {
+      net.set_partition_class(nodes[p], 1);
+    });
+    sim.at(SimTime::seconds(rng.uniform(6, 9)), [&net, &nodes, p] {
+      net.set_partition_class(nodes[p], 0);
+    });
+    const auto o = static_cast<std::size_t>(rng.uniform_int(0, kNodes - 1));
+    sim.at(SimTime::seconds(rng.uniform(3, 6)), [&net, &nodes, o] {
+      net.set_online(nodes[o], false);
+    });
+  }
+  // Rate samples at fixed instants: out-of-component flows must hold their
+  // exact rates between re-levelings.
+  for (int s = 1; s <= 16; ++s) {
+    sim.at(SimTime::seconds(s * 0.5), [&res, &net, ids] {
+      for (const FlowId id : *ids) res.sampled_rates.push_back(net.flow_rate(id));
+    });
+  }
+
+  sim.run();
+  res.finish_us = sim.now().as_micros();
+  for (const NodeId n : nodes) {
+    res.sent.push_back(net.traffic(n).bytes_sent);
+    res.received.push_back(net.traffic(n).bytes_received);
+    res.relayed.push_back(net.traffic(n).bytes_relayed);
+  }
+  res.total_bytes = net.total_bytes_transferred();
+  return res;
+}
+
+class AllocEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocEquivalence, IncrementalMatchesGlobalBitForBit) {
+  // The incremental run doubles as oracle coverage: with check_alloc on,
+  // every reallocation is cross-checked against a fresh global water-fill.
+  const MixedTrace inc =
+      run_mixed_schedule(GetParam(), AllocMode::kIncremental, true);
+  const MixedTrace glob =
+      run_mixed_schedule(GetParam(), AllocMode::kGlobal, false);
+  EXPECT_EQ(inc.outcomes, glob.outcomes);
+  EXPECT_EQ(inc.sampled_rates, glob.sampled_rates);
+  EXPECT_EQ(inc.sent, glob.sent);
+  EXPECT_EQ(inc.received, glob.received);
+  EXPECT_EQ(inc.relayed, glob.relayed);
+  EXPECT_EQ(inc.total_bytes, glob.total_bytes);
+  EXPECT_EQ(inc.finish_us, glob.finish_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
 TEST(NetProperty, AllocationNeverExceedsCapacity) {
   // At every reallocation instant, each node's outgoing allocation must be
   // within its uplink capacity. Sample during a busy random workload.

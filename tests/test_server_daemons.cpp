@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
 #include "common/error.h"
+#include "common/rng.h"
 #include "db/database.h"
 #include "server/assimilator.h"
 #include "server/config.h"
@@ -138,7 +143,7 @@ struct DaemonFixture {
 
   void report(db::ResultRecord& r, HostId host, const common::Digest128& digest,
               bool success = true) {
-    r.server_state = db::ServerState::kOver;
+    db.set_server_state(r.id, db::ServerState::kOver);
     r.outcome = success ? db::Outcome::kSuccess : db::Outcome::kClientError;
     r.host = host;
     r.output_digest = digest;
@@ -146,7 +151,7 @@ struct DaemonFixture {
   }
 
   void send(db::ResultRecord& r, HostId host, SimTime deadline) {
-    r.server_state = db::ServerState::kInProgress;
+    db.set_server_state(r.id, db::ServerState::kInProgress);
     r.host = host;
     r.report_deadline = deadline;
   }
@@ -374,7 +379,7 @@ TEST(Feeder, CachesUnsentAndEvictsStale) {
 
   // Assigning one makes it stale; the next refill evicts it.
   auto rs = f.results();
-  rs[0]->server_state = db::ServerState::kInProgress;
+  f.db.set_server_state(rs[0]->id, db::ServerState::kInProgress);
   feeder.refill();
   EXPECT_EQ(feeder.cache().size(), 1u);
   EXPECT_EQ(feeder.cache()[0], rs[1]->id);
@@ -460,7 +465,7 @@ TEST(Feeder, FairShareInterleavesJobs) {
     EXPECT_EQ(cached_for_job(db, feeder, MrJobId{1}), 2) << "pass " << pass;
     EXPECT_EQ(cached_for_job(db, feeder, MrJobId{2}), 2) << "pass " << pass;
     for (const ResultId id : feeder.cache()) {
-      db.result(id).server_state = db::ServerState::kInProgress;
+      db.set_server_state(id, db::ServerState::kInProgress);
     }
   }
   // B exhausted: the remaining capacity goes back to A.
@@ -490,6 +495,176 @@ TEST(Feeder, FairShareSingleJobKeepsIdOrder) {
   fair.refill();
   id_order.refill();
   EXPECT_EQ(fair.cache(), id_order.cache());
+}
+
+namespace {
+
+/// The historical full-table-scan refill, kept verbatim as an executable
+/// spec: the indexed Feeder must produce the same cache contents, order,
+/// and touched count on every pass of any schedule.
+class ReferenceFeeder {
+ public:
+  ReferenceFeeder(db::Database& db, int cache_size, bool fair_share)
+      : db_(db), cache_size_(cache_size), fair_share_(fair_share) {}
+
+  int refill() {
+    const std::size_t before = cache_.size();
+    std::erase_if(cache_, [this](ResultId id) {
+      return db_.result(id).server_state != db::ServerState::kUnsent;
+    });
+    int touched = static_cast<int>(before - cache_.size());
+    const auto audit = [this](ResultId id) {
+      return db_.workunit(db_.result(id).wu).audit;
+    };
+    const std::size_t cap = static_cast<std::size_t>(cache_size_);
+    if (cache_.size() < cap) {
+      std::vector<ResultId> unsent;
+      db_.for_each_result([&](const db::ResultRecord& r) {
+        if (r.server_state == db::ServerState::kUnsent) unsent.push_back(r.id);
+      });
+      const auto bulk =
+          std::stable_partition(unsent.begin(), unsent.end(), audit);
+      if (fair_share_) {
+        std::map<MrJobId, std::vector<ResultId>> by_job;
+        for (auto it = bulk; it != unsent.end(); ++it) {
+          by_job[db_.workunit(db_.result(*it).wu).mr_job].push_back(*it);
+        }
+        auto out = bulk;
+        for (std::size_t round = 0; out != unsent.end(); ++round) {
+          for (const auto& [job, ids] : by_job) {
+            if (round < ids.size()) *out++ = ids[round];
+          }
+        }
+      }
+      for (const ResultId id : unsent) {
+        if (cache_.size() >= cap) break;
+        if (std::find(cache_.begin(), cache_.end(), id) == cache_.end()) {
+          cache_.push_back(id);
+          ++touched;
+        }
+      }
+    }
+    std::stable_partition(cache_.begin(), cache_.end(), audit);
+    return touched;
+  }
+
+  void remove(ResultId id) {
+    cache_.erase(std::remove(cache_.begin(), cache_.end(), id), cache_.end());
+  }
+
+  const std::vector<ResultId>& cache() const { return cache_; }
+
+ private:
+  db::Database& db_;
+  int cache_size_;
+  bool fair_share_;
+  std::vector<ResultId> cache_;
+};
+
+/// Drive the indexed feeder and the full-scan reference through the same
+/// randomized schedule of state transitions, audit flips, new results, and
+/// scheduler takes, asserting identical cache vectors and touched counts
+/// after every pass.
+void run_feeder_equivalence(std::uint64_t seed, bool fair_share) {
+  common::Rng rng(seed);
+  db::Database db;
+  const db::AppRecord& app = db.create_app("a");
+  std::vector<WorkUnitId> wus;
+  std::vector<ResultId> all;
+  const auto add_result = [&](MrJobId job, bool audit) {
+    db::WorkUnitRecord wp;
+    wp.name = "wu" + std::to_string(wus.size());
+    wp.app = app.id;
+    wp.mr_job = job;
+    wp.audit = audit;
+    const db::WorkUnitRecord& wu = db.create_workunit(wp);
+    wus.push_back(wu.id);
+    db::ResultRecord rp;
+    rp.wu = wu.id;
+    rp.server_state = db::ServerState::kUnsent;
+    all.push_back(db.create_result(rp).id);
+  };
+  for (int i = 0; i < 30; ++i) {
+    add_result(MrJobId{rng.uniform_int(1, 3)}, rng.chance(0.2));
+  }
+
+  Feeder feeder(db, 8, fair_share);
+  ReferenceFeeder ref(db, 8, fair_share);
+  for (int round = 0; round < 12; ++round) {
+    // Mutate: some results change state, some audits flip, some arrive.
+    for (const ResultId id : all) {
+      if (rng.chance(0.15)) {
+        const auto next = rng.chance(0.5) ? db::ServerState::kInProgress
+                                          : db::ServerState::kOver;
+        db.set_server_state(id, next);
+      } else if (rng.chance(0.1)) {
+        db.set_server_state(id, db::ServerState::kUnsent);
+      }
+    }
+    if (rng.chance(0.5)) {
+      const WorkUnitId wid =
+          wus[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(wus.size()) - 1))];
+      db.set_workunit_audit(wid, !db.workunit(wid).audit);
+    }
+    if (rng.chance(0.6)) {
+      add_result(MrJobId{rng.uniform_int(1, 3)}, rng.chance(0.2));
+    }
+
+    const int touched_feeder = feeder.refill();
+    const int touched_ref = ref.refill();
+    ASSERT_EQ(feeder.cache(), ref.cache())
+        << "seed " << seed << " round " << round;
+    EXPECT_EQ(touched_feeder, touched_ref)
+        << "seed " << seed << " round " << round;
+
+    // Scheduler takes a couple of entries out of both caches.
+    for (int k = 0; k < 2 && !feeder.cache().empty(); ++k) {
+      const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(feeder.cache().size()) - 1));
+      const ResultId id = feeder.cache()[pick];
+      db.set_server_state(id, db::ServerState::kInProgress);
+      feeder.remove(id);
+      ref.remove(id);
+      ASSERT_EQ(feeder.cache(), ref.cache())
+          << "seed " << seed << " round " << round << " after remove";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Feeder, IndexedRefillMatchesFullScanReferenceFairShare) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    run_feeder_equivalence(seed, /*fair_share=*/true);
+  }
+}
+
+TEST(Feeder, IndexedRefillMatchesFullScanReferenceIdOrder) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    run_feeder_equivalence(seed, /*fair_share=*/false);
+  }
+}
+
+// Audit results jump both the top-up order and the cache scan order, even
+// when bulk work from lower ids would otherwise fill every slot.
+TEST(Feeder, AuditResultsJumpTheLine) {
+  db::Database db = two_job_db();
+  // Flag job B's first work unit (higher result id than all of job A's)
+  // for audit; it must surface at the cache head, not wait out A's backlog.
+  std::vector<WorkUnitId> audit_wus;
+  db.for_each_workunit([&](const db::WorkUnitRecord& wu) {
+    if (wu.mr_job == MrJobId{2} && audit_wus.empty()) {
+      audit_wus.push_back(wu.id);
+    }
+  });
+  ASSERT_EQ(audit_wus.size(), 1u);
+  db.set_workunit_audit(audit_wus[0], true);
+
+  Feeder feeder(db, 4, /*fair_share=*/true);
+  feeder.refill();
+  ASSERT_EQ(feeder.cache().size(), 4u);
+  EXPECT_EQ(db.result(feeder.cache()[0]).wu, audit_wus[0]);
 }
 
 }  // namespace

@@ -41,117 +41,128 @@ core::Scenario chaos_scenario(std::uint64_t seed) {
   return s;
 }
 
-struct Point {
+/// Outcome-level aggregates. Timings come from JobMetrics; every fault and
+/// recovery counter in the emitted row is read back from the registry.
+struct Timings {
   int runs = 0;
   int completed = 0;
   double makespan = 0;       ///< avg over completed runs
   double recovery = 0;       ///< avg makespan - baseline, completed runs
-  std::int64_t injected = 0;
-  std::int64_t recovered = 0;
-  std::int64_t backoffs = 0;
-  std::int64_t fallbacks = 0;
-  std::int64_t results_lost = 0;
-  std::int64_t maps_invalidated = 0;
-  // Per-family counters for the new fault families (zero elsewhere).
-  std::int64_t links_downed = 0;
-  std::int64_t groups_downed = 0;
-  std::int64_t links_degraded = 0;
-  std::int64_t trace_links_downed = 0;
-  std::int64_t server_crashes = 0;
-  std::int64_t server_restores = 0;
 };
 
-Point sweep_point(int n_seeds, const std::vector<double>& baseline,
-                  const std::function<void(core::Scenario&)>& apply) {
-  Point p;
+/// Runs one (family, intensity) point across the seeds under its own
+/// registry scope and renders the JSON row from registry state — the same
+/// instrumentation `vcmr_run --metrics-json` exports. Field names and
+/// values match the historical private-struct emitter exactly (the fault
+/// kind labels map 1:1 onto the old FaultStats fields).
+std::string sweep_point(const std::string& family, double intensity,
+                        int n_seeds, const std::vector<double>& baseline,
+                        double base_avg,
+                        const std::function<void(core::Scenario&)>& apply,
+                        double* recovery_out = nullptr) {
+  obs::ScopedMetricsRegistry metrics;
+  Timings t;
   for (int i = 0; i < n_seeds; ++i) {
     core::Scenario s = chaos_scenario(kFirstSeed + i);
     apply(s);
     core::Cluster cluster(s);
     const core::RunOutcome out = cluster.run_job();
-    ++p.runs;
-    p.injected += out.faults.injected();
-    p.recovered += out.faults.recovered();
-    p.backoffs += out.backoffs;
-    p.fallbacks += out.server_fallbacks;
-    p.results_lost += out.results_lost;
-    p.maps_invalidated += out.maps_invalidated;
-    p.links_downed += out.faults.links_downed;
-    p.groups_downed += out.faults.groups_downed;
-    p.links_degraded += out.faults.links_degraded;
-    p.trace_links_downed += out.faults.trace_links_downed;
-    p.server_crashes += out.faults.server_crashes;
-    p.server_restores += out.faults.server_restores;
+    ++t.runs;
     if (!out.metrics.completed) continue;
-    ++p.completed;
-    p.makespan += out.metrics.total_seconds;
-    p.recovery += out.metrics.total_seconds - baseline[i];
+    ++t.completed;
+    t.makespan += out.metrics.total_seconds;
+    t.recovery += out.metrics.total_seconds - baseline[i];
   }
-  if (p.completed > 0) {
-    p.makespan /= p.completed;
-    p.recovery /= p.completed;
+  if (t.completed > 0) {
+    t.makespan /= t.completed;
+    t.recovery /= t.completed;
   }
-  return p;
-}
+  if (recovery_out) *recovery_out = t.recovery;
 
-void emit(const std::string& family, double intensity, double base,
-          const Point& p) {
-  bench::JsonRow()
+  const obs::MetricsRegistry& reg = metrics.registry();
+  return bench::JsonRow()
       .field("experiment", "E16")
       .field("fault", family)
       .field("intensity", intensity)
-      .field("runs", p.runs)
-      .field("completed", p.completed)
-      .field("baseline_s", base)
-      .field("makespan_s", p.makespan)
+      .field("runs", t.runs)
+      .field("completed", t.completed)
+      .field("baseline_s", base_avg)
+      .field("makespan_s", t.makespan)
       .field("degradation_pct",
-             base > 0 ? 100.0 * (p.makespan - base) / base : 0.0)
-      .field("recovery_s", p.recovery)
-      .field("faults_injected", p.injected)
-      .field("faults_recovered", p.recovered)
-      .field("backoffs", p.backoffs)
-      .field("server_fallbacks", p.fallbacks)
-      .field("results_lost", p.results_lost)
-      .field("maps_invalidated", p.maps_invalidated)
-      .field("links_downed", p.links_downed)
-      .field("groups_downed", p.groups_downed)
-      .field("links_degraded", p.links_degraded)
-      .field("trace_links_downed", p.trace_links_downed)
-      .field("server_crashes", p.server_crashes)
-      .field("server_restores", p.server_restores)
-      .emit();
+             base_avg > 0 ? 100.0 * (t.makespan - base_avg) / base_avg : 0.0)
+      .field("recovery_s", t.recovery)
+      .field("faults_injected",
+             bench::fault_kinds(reg, {"link_down", "partition", "server_down",
+                                      "crash", "corrupt_upload", "rpc_drop",
+                                      "group_down", "link_degrade",
+                                      "trace_down", "server_crash"}))
+      .field("faults_recovered",
+             bench::fault_kinds(reg, {"link_up", "partition_heal", "server_up",
+                                      "restart", "group_up",
+                                      "link_restore_rate", "trace_up",
+                                      "server_restore"}))
+      .field("backoffs",
+             bench::histogram_count(reg, "client", "backoff_seconds"))
+      .field("server_fallbacks",
+             reg.counter_total("client", "server_fallbacks"))
+      .field("results_lost", reg.counter_total("scheduler", "results_lost"))
+      .field("maps_invalidated",
+             reg.counter_total("scheduler", "maps_invalidated"))
+      .field("links_downed", bench::fault_kind(reg, "link_down"))
+      .field("groups_downed", bench::fault_kind(reg, "group_down"))
+      .field("links_degraded", bench::fault_kind(reg, "link_degrade"))
+      .field("trace_links_downed", bench::fault_kind(reg, "trace_down"))
+      .field("server_crashes", bench::fault_kind(reg, "server_crash"))
+      .field("server_restores", bench::fault_kind(reg, "server_restore"))
+      .str();
 }
 
-void run(int n_seeds) {
+void run(int n_seeds, const char* out_path) {
   std::printf(
       "E16 — CHAOS SWEEP (8 nodes, 6 maps, 2 reducers, 60 MB, %d seeds)\n"
       "one JSON line per (fault family, intensity) point\n\n",
       n_seeds);
 
-  // Fault-free makespan per seed: the recovery-time yardstick.
+  // Fault-free makespan per seed: the recovery-time yardstick. Scoped so
+  // the baseline runs don't leak counters into the process registry.
   std::vector<double> baseline;
   double base_avg = 0;
-  for (int i = 0; i < n_seeds; ++i) {
-    core::Cluster cluster(chaos_scenario(kFirstSeed + i));
-    const core::RunOutcome out = cluster.run_job();
-    baseline.push_back(out.metrics.total_seconds);
-    base_avg += out.metrics.total_seconds;
+  {
+    obs::ScopedMetricsRegistry metrics;
+    for (int i = 0; i < n_seeds; ++i) {
+      core::Cluster cluster(chaos_scenario(kFirstSeed + i));
+      const core::RunOutcome out = cluster.run_job();
+      baseline.push_back(out.metrics.total_seconds);
+      base_avg += out.metrics.total_seconds;
+    }
   }
   base_avg /= n_seeds;
 
+  std::vector<std::string> rows;
+  const auto emit = [&rows](std::string row) {
+    std::printf("%s\n", row.c_str());
+    rows.push_back(std::move(row));
+  };
+
+  // Headline inputs: recovery at the heaviest crash schedule, with and
+  // without fast lost-work recovery.
+  double crash3_recovery = 0, crash_fast3_recovery = 0;
+
   // Client crashes: n hosts crash staggered mid-map, restart 60 s later.
   for (const int crashes : {0, 1, 2, 3}) {
-    const Point p =
-        sweep_point(n_seeds, baseline, [crashes](core::Scenario& s) {
-          for (int c = 0; c < crashes; ++c) {
-            fault::ClientCrash cc;
-            cc.host = c;
-            cc.at = SimTime::seconds(20 + 15 * c);
-            cc.restart_at = cc.at + SimTime::seconds(60);
-            s.faults.crashes.push_back(cc);
-          }
-        });
-    emit("crash", crashes, base_avg, p);
+    std::string row =
+        sweep_point("crash", crashes, n_seeds, baseline, base_avg,
+                    [crashes](core::Scenario& s) {
+                      for (int c = 0; c < crashes; ++c) {
+                        fault::ClientCrash cc;
+                        cc.host = c;
+                        cc.at = SimTime::seconds(20 + 15 * c);
+                        cc.restart_at = cc.at + SimTime::seconds(60);
+                        s.faults.crashes.push_back(cc);
+                      }
+                    },
+                    crashes == 3 ? &crash3_recovery : nullptr);
+    emit(std::move(row));
   }
 
   // Same crash schedules with fast lost-work recovery on
@@ -160,60 +171,60 @@ void run(int n_seeds) {
   // and re-issues the wiped work on the spot, and recovery is bounded by
   // the client RPC interval instead of the report deadline.
   for (const int crashes : {1, 2, 3}) {
-    const Point p =
-        sweep_point(n_seeds, baseline, [crashes](core::Scenario& s) {
-          s.project.resend_lost_results = true;
-          s.project.report_fetch_failures = true;
-          for (int c = 0; c < crashes; ++c) {
-            fault::ClientCrash cc;
-            cc.host = c;
-            cc.at = SimTime::seconds(20 + 15 * c);
-            cc.restart_at = cc.at + SimTime::seconds(60);
-            s.faults.crashes.push_back(cc);
-          }
-        });
-    emit("crash_fast", crashes, base_avg, p);
+    std::string row =
+        sweep_point("crash_fast", crashes, n_seeds, baseline, base_avg,
+                    [crashes](core::Scenario& s) {
+                      s.project.resend_lost_results = true;
+                      s.project.report_fetch_failures = true;
+                      for (int c = 0; c < crashes; ++c) {
+                        fault::ClientCrash cc;
+                        cc.host = c;
+                        cc.at = SimTime::seconds(20 + 15 * c);
+                        cc.restart_at = cc.at + SimTime::seconds(60);
+                        s.faults.crashes.push_back(cc);
+                      }
+                    },
+                    crashes == 3 ? &crash_fast3_recovery : nullptr);
+    emit(std::move(row));
   }
 
   // Scheduler/report RPC loss.
   for (const double rate : {0.1, 0.25, 0.5}) {
-    const Point p = sweep_point(n_seeds, baseline, [rate](core::Scenario& s) {
-      s.faults.rpc_loss_rate = rate;
-    });
-    emit("rpc_loss", rate, base_avg, p);
+    emit(sweep_point("rpc_loss", rate, n_seeds, baseline, base_avg,
+                     [rate](core::Scenario& s) {
+                       s.faults.rpc_loss_rate = rate;
+                     }));
   }
 
   // Upload corruption (caught by the quorum validator; work re-issued).
   for (const double rate : {0.1, 0.25}) {
-    const Point p = sweep_point(n_seeds, baseline, [rate](core::Scenario& s) {
-      s.faults.upload_corruption_rate = rate;
-    });
-    emit("corruption", rate, base_avg, p);
+    emit(sweep_point("corruption", rate, n_seeds, baseline, base_avg,
+                     [rate](core::Scenario& s) {
+                       s.faults.upload_corruption_rate = rate;
+                     }));
   }
 
   // Data-server outage of increasing length, starting during the map
   // download wave.
   for (const double outage_s : {30.0, 90.0}) {
-    const Point p =
-        sweep_point(n_seeds, baseline, [outage_s](core::Scenario& s) {
-          fault::ServerOutage o;
-          o.down_at = SimTime::seconds(10);
-          o.up_at = o.down_at + SimTime::seconds(outage_s);
-          s.faults.server_outages.push_back(o);
-        });
-    emit("server_outage", outage_s, base_avg, p);
+    emit(sweep_point("server_outage", outage_s, n_seeds, baseline, base_avg,
+                     [outage_s](core::Scenario& s) {
+                       fault::ServerOutage o;
+                       o.down_at = SimTime::seconds(10);
+                       o.up_at = o.down_at + SimTime::seconds(outage_s);
+                       s.faults.server_outages.push_back(o);
+                     }));
   }
 
   // Random link flapping, increasing mean downtime (2 min mean uptime).
   for (const double down_s : {5.0, 15.0}) {
-    const Point p =
-        sweep_point(n_seeds, baseline, [down_s](core::Scenario& s) {
-          fault::LinkFlap flap;
-          flap.mean_up = SimTime::minutes(2);
-          flap.mean_down = SimTime::seconds(down_s);
-          s.faults.link_flap = flap;
-        });
-    emit("link_flap", down_s, base_avg, p);
+    emit(sweep_point("link_flap", down_s, n_seeds, baseline, base_avg,
+                     [down_s](core::Scenario& s) {
+                       fault::LinkFlap flap;
+                       flap.mean_up = SimTime::minutes(2);
+                       flap.mean_down = SimTime::seconds(down_s);
+                       s.faults.link_flap = flap;
+                     }));
   }
 
   // Correlated group failure vs the same hosts failing independently.
@@ -222,47 +233,47 @@ void run(int n_seeds) {
   // of the same workunit vanish together and the makespan should come out
   // no better than the staggered independent schedule.
   for (const int n : {2, 3}) {
-    const Point corr = sweep_point(n_seeds, baseline, [n](core::Scenario& s) {
-      fault::HostGroup g;
-      g.name = "shared-uplink";
-      for (int h = 0; h < n; ++h) g.hosts.push_back(h);
-      s.faults.groups.push_back(g);
-      fault::GroupFault gf;
-      gf.group = "shared-uplink";
-      gf.down_at = SimTime::seconds(30);
-      gf.up_at = SimTime::seconds(90);
-      s.faults.group_faults.push_back(gf);
-    });
-    emit("correlated", n, base_avg, corr);
+    emit(sweep_point("correlated", n, n_seeds, baseline, base_avg,
+                     [n](core::Scenario& s) {
+                       fault::HostGroup g;
+                       g.name = "shared-uplink";
+                       for (int h = 0; h < n; ++h) g.hosts.push_back(h);
+                       s.faults.groups.push_back(g);
+                       fault::GroupFault gf;
+                       gf.group = "shared-uplink";
+                       gf.down_at = SimTime::seconds(30);
+                       gf.up_at = SimTime::seconds(90);
+                       s.faults.group_faults.push_back(gf);
+                     }));
     // The equivalent independent schedule: the identical per-host windows
     // expressed as individual link faults. A <group> is semantically its
     // expansion, so the makespan must come out exactly equal — only the
     // groups_downed/links_downed counters tell the two apart. Any drift
     // here means the correlated path stopped being a faithful expansion.
-    const Point ind = sweep_point(n_seeds, baseline, [n](core::Scenario& s) {
-      for (int h = 0; h < n; ++h) {
-        fault::LinkFault lf;
-        lf.host = h;
-        lf.down_at = SimTime::seconds(30);
-        lf.up_at = SimTime::seconds(90);
-        s.faults.link_faults.push_back(lf);
-      }
-    });
-    emit("independent", n, base_avg, ind);
+    emit(sweep_point("independent", n, n_seeds, baseline, base_avg,
+                     [n](core::Scenario& s) {
+                       for (int h = 0; h < n; ++h) {
+                         fault::LinkFault lf;
+                         lf.host = h;
+                         lf.down_at = SimTime::seconds(30);
+                         lf.up_at = SimTime::seconds(90);
+                         s.faults.link_faults.push_back(lf);
+                       }
+                     }));
     // Same per-host downtime staggered 25 s apart: host outages that do
     // NOT overlap each other stretch the disruption across more of the
     // job and interact with client backoff, so the fleet usually pays
     // more than for one simultaneous (correlated) hit.
-    const Point stag = sweep_point(n_seeds, baseline, [n](core::Scenario& s) {
-      for (int h = 0; h < n; ++h) {
-        fault::LinkFault lf;
-        lf.host = h;
-        lf.down_at = SimTime::seconds(30 + 25 * h);
-        lf.up_at = lf.down_at + SimTime::seconds(60);
-        s.faults.link_faults.push_back(lf);
-      }
-    });
-    emit("staggered", n, base_avg, stag);
+    emit(sweep_point("staggered", n, n_seeds, baseline, base_avg,
+                     [n](core::Scenario& s) {
+                       for (int h = 0; h < n; ++h) {
+                         fault::LinkFault lf;
+                         lf.host = h;
+                         lf.down_at = SimTime::seconds(30 + 25 * h);
+                         lf.up_at = lf.down_at + SimTime::seconds(60);
+                         s.faults.link_faults.push_back(lf);
+                       }
+                     }));
   }
 
   // Bandwidth degradation: one host's access link crawls at a fraction of
@@ -270,22 +281,23 @@ void run(int n_seeds) {
   // max-min fair-share recompute, not the binary up/down path — and the
   // makespan climbs monotonically as the factor drops.
   for (const double factor : {0.5, 0.25, 0.1}) {
-    const Point p =
-        sweep_point(n_seeds, baseline, [factor](core::Scenario& s) {
+    emit(sweep_point(
+        "degrade", factor, n_seeds, baseline, base_avg,
+        [factor](core::Scenario& s) {
           fault::LinkDegrade d;
           d.host = 0;
           d.factor = factor;
           d.at = SimTime::seconds(10);
           s.faults.degrades.push_back(d);  // until = infinity: never restored
-        });
-    emit("degrade", factor, base_avg, p);
+        }));
   }
 
   // Trace-driven availability churn: each traced host has a mid-job off
   // window from a synthetic SETI-like availability trace.
   for (const int traced : {2, 4}) {
-    const Point p =
-        sweep_point(n_seeds, baseline, [traced](core::Scenario& s) {
+    emit(sweep_point(
+        "trace_churn", traced, n_seeds, baseline, base_avg,
+        [traced](core::Scenario& s) {
           std::string csv;
           for (int h = 0; h < traced; ++h) {
             const int off = 40 + 5 * h;
@@ -297,8 +309,7 @@ void run(int n_seeds) {
                fault::compile_availability_trace(csv, s.n_nodes)) {
             s.faults.link_faults.push_back(lf);
           }
-        });
-    emit("trace_churn", traced, base_avg, p);
+        }));
   }
 
   // Scheduler crash/restore: the server loses all post-snapshot state at
@@ -306,15 +317,14 @@ void run(int n_seeds) {
   // increasing outage. resend_lost_results reconciles the rolled-back
   // in-flight results on each holder's next RPC.
   for (const double outage_s : {20.0, 60.0}) {
-    const Point p =
-        sweep_point(n_seeds, baseline, [outage_s](core::Scenario& s) {
-          s.project.resend_lost_results = true;
-          fault::ServerCrash sc;
-          sc.at = SimTime::seconds(100);
-          sc.restore_at = sc.at + SimTime::seconds(outage_s);
-          s.faults.server_crashes.push_back(sc);
-        });
-    emit("server_crash", outage_s, base_avg, p);
+    emit(sweep_point("server_crash", outage_s, n_seeds, baseline, base_avg,
+                     [outage_s](core::Scenario& s) {
+                       s.project.resend_lost_results = true;
+                       fault::ServerCrash sc;
+                       sc.at = SimTime::seconds(100);
+                       sc.restore_at = sc.at + SimTime::seconds(outage_s);
+                       s.faults.server_crashes.push_back(sc);
+                     }));
   }
 
   std::printf(
@@ -333,6 +343,17 @@ void run(int n_seeds) {
       "trace_churn rows count their faults under trace_links_downed; and\n"
       "server_crash rows recover via DB-snapshot restore + reconciliation\n"
       "(server_crashes == server_restores == runs).\n");
+
+  bench::JsonRow headline;
+  headline.field("seeds", n_seeds)
+      .field("baseline_s", base_avg)
+      .field("crash3_recovery_s", crash3_recovery)
+      .field("crash_fast3_recovery_s", crash_fast3_recovery)
+      .field("fast_recovery_speedup_x",
+             crash_fast3_recovery > 0 ? crash3_recovery / crash_fast3_recovery
+                                      : 0.0)
+      .field("points", static_cast<int>(rows.size()));
+  bench::write_bench_doc(out_path, "E16", rows, headline.str());
 }
 
 }  // namespace
@@ -341,6 +362,7 @@ void run(int n_seeds) {
 int main(int argc, char** argv) {
   vcmr::bench::silence_logs();
   const int n_seeds = argc > 1 ? std::atoi(argv[1]) : 3;
-  vcmr::run(n_seeds);
+  const char* out = argc > 2 ? argv[2] : "BENCH_CHAOS.json";
+  vcmr::run(n_seeds, out);
   return 0;
 }

@@ -122,73 +122,60 @@ Bytes tier_egress(const obs::MetricsRegistry& reg, const std::string& tier) {
   return total;
 }
 
-struct Point {
-  int runs = 0;
-  int completed = 0;
-  double makespan = 0;
-  Bytes project_egress = 0;    ///< chunk bytes served by project shards
-  Bytes volunteer_egress = 0;  ///< chunk bytes served by volunteers
-  std::int64_t store_fetches = 0;
-  std::int64_t store_misses = 0;
-  std::int64_t store_adverts = 0;
-  std::int64_t store_peers_attached = 0;
-  std::int64_t store_gate_skips = 0;
-  std::int64_t server_fallbacks = 0;
+/// Runs one (shards, store) point across the seeds under a single registry
+/// scope and renders the row from registry state — the same counters the
+/// exporters see (no private stat struct). Outcome-level timings and the
+/// per-point project/volunteer egress split stay byte-identical to the
+/// historical emitter. Returns the JSON row; `project_egress_out` reports
+/// the headline input.
+std::string sweep_point(int n_seeds, int shards, bool store_on,
+                        const std::string& trace_csv,
+                        Bytes* project_egress_out) {
+  obs::ScopedMetricsRegistry metrics;
+  int runs = 0, completed = 0;
+  double makespan = 0, wall_s = 0;
   std::size_t events = 0;
-  double wall_s = 0;
-};
-
-Point sweep_point(int n_seeds, int shards, bool store_on,
-                  const std::string& trace_csv) {
-  Point p;
   for (int i = 0; i < n_seeds; ++i) {
-    obs::ScopedMetricsRegistry metrics;
     const auto t0 = std::chrono::steady_clock::now();
     core::Cluster cluster(
         storage_scenario(kFirstSeed + i, shards, store_on, trace_csv));
     const core::RunOutcome out = cluster.run_job(sweep_job());
-    p.wall_s += std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-    ++p.runs;
-    p.project_egress += tier_egress(metrics.registry(), "project");
-    p.volunteer_egress += tier_egress(metrics.registry(), "volunteer");
-    p.store_fetches += out.store_fetches;
-    p.store_misses += out.store_misses;
-    p.server_fallbacks += out.server_fallbacks;
-    const auto& st = cluster.project().scheduler().stats();
-    p.store_adverts += st.store_adverts;
-    p.store_peers_attached += st.store_peers_attached;
-    p.store_gate_skips += st.store_gate_skips;
-    p.events += cluster.simulation().events_executed();
+    wall_s += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    ++runs;
+    events += cluster.simulation().events_executed();
     if (!out.metrics.completed) continue;
-    ++p.completed;
-    p.makespan += out.metrics.total_seconds;
+    ++completed;
+    makespan += out.metrics.total_seconds;
   }
-  if (p.completed > 0) p.makespan /= p.completed;
-  return p;
-}
+  if (completed > 0) makespan /= completed;
 
-std::string point_json(int shards, bool store_on, const Point& p) {
+  const obs::MetricsRegistry& reg = metrics.registry();
+  const Bytes project_egress = tier_egress(reg, "project");
+  if (project_egress_out) *project_egress_out = project_egress;
   bench::JsonRow row;
   row.field("experiment", "E18")
       .field("shards", shards)
       .field("volunteer_store", store_on ? 1 : 0)
-      .field("runs", p.runs)
-      .field("completed", p.completed)
-      .field("makespan_s", p.makespan)
-      .field("project_egress_bytes", p.project_egress)
-      .field("volunteer_egress_bytes", p.volunteer_egress)
-      .field("store_fetches", p.store_fetches)
-      .field("store_misses", p.store_misses)
-      .field("store_adverts", p.store_adverts)
-      .field("store_peers_attached", p.store_peers_attached)
-      .field("store_gate_skips", p.store_gate_skips)
-      .field("server_fallbacks", p.server_fallbacks)
-      .field("events_executed", static_cast<std::int64_t>(p.events))
+      .field("runs", runs)
+      .field("completed", completed)
+      .field("makespan_s", makespan)
+      .field("project_egress_bytes", project_egress)
+      .field("volunteer_egress_bytes", tier_egress(reg, "volunteer"))
+      .field("store_fetches", reg.counter_total("client", "store_fetches"))
+      .field("store_misses", reg.counter_total("client", "store_misses"))
+      .field("store_adverts", reg.counter_total("scheduler", "store_adverts"))
+      .field("store_peers_attached",
+             reg.counter_total("scheduler", "store_peers_attached"))
+      .field("store_gate_skips",
+             reg.counter_total("scheduler", "store_gate_skips"))
+      .field("server_fallbacks",
+             reg.counter_total("client", "server_fallbacks"))
+      .field("events_executed", static_cast<std::int64_t>(events))
       .field("events_per_sec",
-             p.wall_s > 0 ? static_cast<double>(p.events) / p.wall_s : 0.0)
-      .field("wall_clock_s", p.wall_s);
+             wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0)
+      .field("wall_clock_s", wall_s);
   return row.str();
 }
 
@@ -276,10 +263,11 @@ void run(int n_seeds, const char* trace_path, const char* out_path) {
   Bytes headline_egress = 0;   // max shards, store on
   for (const int shards : {1, 2, 4}) {
     for (const bool store_on : {false, true}) {
-      const Point p = sweep_point(n_seeds, shards, store_on, trace_csv);
-      if (shards == 1 && !store_on) baseline_egress = p.project_egress;
-      if (shards == 4 && store_on) headline_egress = p.project_egress;
-      rows.push_back(point_json(shards, store_on, p));
+      Bytes project_egress = 0;
+      rows.push_back(
+          sweep_point(n_seeds, shards, store_on, trace_csv, &project_egress));
+      if (shards == 1 && !store_on) baseline_egress = project_egress;
+      if (shards == 4 && store_on) headline_egress = project_egress;
       std::printf("%s\n", rows.back().c_str());
     }
   }

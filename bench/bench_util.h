@@ -8,6 +8,7 @@
 // for real wall-clock measurements of the substrate.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "common/stats.h"
 #include "common/strings.h"
 #include "core/cluster.h"
+#include "obs/metrics.h"
 
 namespace vcmr::bench {
 
@@ -95,5 +97,68 @@ inline std::string cell(double raw, double trimmed) {
 /// Thin alias over the shared JSON writer (src/common/json.h); the output
 /// format is unchanged, which tests/test_obs.cpp pins.
 using JsonRow = common::JsonWriter;
+
+// --- registry readers ------------------------------------------------------
+// The bench rows come from the same MetricsRegistry the exporters see:
+// scope a ScopedMetricsRegistry around the measured clusters, then read
+// the totals with these instead of keeping private stat structs.
+
+/// counter_total shorthand against the current registry.
+inline std::int64_t counter(const std::string& component,
+                            const std::string& name) {
+  return obs::MetricsRegistry::instance().counter_total(component, name);
+}
+
+/// Total injections of one fault kind (fault/injections{kind=...}).
+inline std::int64_t fault_kind(const obs::MetricsRegistry& reg,
+                               const std::string& kind) {
+  std::int64_t total = 0;
+  for (const auto& [key, c] : reg.counters()) {
+    if (key.component == "fault" && key.name == "injections" &&
+        key.labels == obs::Labels{{"kind", kind}}) {
+      total += c.value();
+    }
+  }
+  return total;
+}
+
+/// Sum of fault/injections across several kinds.
+inline std::int64_t fault_kinds(const obs::MetricsRegistry& reg,
+                                std::initializer_list<const char*> kinds) {
+  std::int64_t total = 0;
+  for (const char* kind : kinds) total += fault_kind(reg, kind);
+  return total;
+}
+
+/// Total observation count of one histogram family across label sets
+/// (e.g. client/backoff_seconds summed over hosts).
+inline std::int64_t histogram_count(const obs::MetricsRegistry& reg,
+                                    const std::string& component,
+                                    const std::string& name) {
+  std::int64_t total = 0;
+  for (const auto& [key, h] : reg.histograms()) {
+    if (key.component == component && key.name == name) total += h.count();
+  }
+  return total;
+}
+
+/// Writes a consolidated BENCH_*.json doc ({"experiment", "rows",
+/// "headline"}) like E18-E20 produce, and says so on stdout.
+inline void write_bench_doc(const std::string& out_path,
+                            const std::string& experiment,
+                            const std::vector<std::string>& rows,
+                            const std::string& headline_json) {
+  std::string doc =
+      "{\"experiment\": " + common::JsonWriter::quoted(experiment) +
+      ", \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) doc += ", ";
+    doc += rows[i];
+  }
+  doc += "], \"headline\": " + headline_json + "}\n";
+  std::ofstream out(out_path);
+  out << doc;
+  std::printf("wrote %s\n", out_path.c_str());
+}
 
 }  // namespace vcmr::bench

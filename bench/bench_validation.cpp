@@ -21,7 +21,7 @@
 namespace vcmr {
 namespace {
 
-void run(int n_seeds) {
+void run(int n_seeds, std::vector<std::string>& rows) {
   std::printf(
       "E7 — QUORUM VALIDATION vs BYZANTINE HOSTS (20 nodes, 20 maps, 5 "
       "reducers, 1 GB, %d seeds)\n\n",
@@ -33,6 +33,9 @@ void run(int n_seeds) {
   for (const auto& [repl, quorum] :
        std::vector<std::pair<int, int>>{{2, 2}, {3, 2}, {4, 3}}) {
     for (const double faulty : {0.0, 0.1, 0.25}) {
+      // One registry scope per config: the invalid-result count below is
+      // read back from the validator's counters, not a private stat.
+      obs::ScopedMetricsRegistry metrics;
       double total = 0, results = 0;
       int ok = 0;
       const int useful = 25;  // 20 map + 5 reduce WUs
@@ -72,8 +75,8 @@ void run(int n_seeds) {
           // modelled mode, honest replicas of one WU agree exactly, so a
           // canonical with fewer than `quorum` honest agreeing replicas is
           // impossible by construction; spot-check validator counters.
-          const auto& vs = cluster.project().validator_stats();
-          if (vs.results_invalid > 0 && faulty == 0.0) {
+          if (bench::counter("validator", "results_invalid") > 0 &&
+              faulty == 0.0) {
             std::printf("  !! invalid results without byzantine hosts\n");
           }
         }
@@ -85,6 +88,22 @@ void run(int n_seeds) {
       std::printf("%6d %7d %7.0f%% | %-12.0f | %10.1f | %9.2fx | %6d/%d\n",
                   repl, quorum, faulty * 100, total, results,
                   results / useful, ok, n_seeds);
+      rows.push_back(
+          bench::JsonRow()
+              .field("experiment", "E7")
+              .field("replication", repl)
+              .field("quorum", quorum)
+              .field("faulty_fraction", faulty)
+              .field("seeds", n_seeds)
+              .field("completed", ok)
+              .field("makespan_s", total)
+              .field("results_executed", results)
+              .field("redundancy_x", results / useful)
+              .field("results_valid",
+                     bench::counter("validator", "results_valid"))
+              .field("results_invalid",
+                     bench::counter("validator", "results_invalid"))
+              .str());
     }
   }
   std::printf(
@@ -125,7 +144,10 @@ std::map<std::string, common::Digest128> canonical_digests(
   return out;
 }
 
-void run_adaptive(int n_seeds) {
+/// Reports the clean-fleet replication overhead per policy through
+/// `clean_overhead_out[0]` (fixed) and `[1]` (adaptive) for the headline.
+void run_adaptive(int n_seeds, std::vector<std::string>& rows,
+                  double clean_overhead_out[2]) {
   bench::heading(common::strprintf(
       "E7b — FIXED vs ADAPTIVE REPLICATION (16 nodes, churn, %d-job train, "
       "%d seeds; JSON per config)",
@@ -146,6 +168,9 @@ void run_adaptive(int n_seeds) {
         for (int j = 0; j < kJobsPerFleet; ++j) ref.run_job();
         const auto truth = canonical_digests(ref);
 
+        // The measured fleet gets its own registry scope (the clean
+        // reference above must not pollute the counters read below).
+        obs::ScopedMetricsRegistry metrics;
         core::Scenario s = adaptive_scenario(seed);
         s.project.reputation.mode = mode;
         volunteer::ChurnConfig churn;
@@ -170,9 +195,8 @@ void run_adaptive(int n_seeds) {
           const auto it = truth.find(name);
           if (it == truth.end() || digest != it->second) ++invalid_canonicals;
         }
-        const auto& st = cluster.project().scheduler().stats();
-        spot_checks += st.spot_checks;
-        singles += st.trusted_singles;
+        spot_checks += bench::counter("scheduler", "spot_checks");
+        singles += bench::counter("scheduler", "trusted_singles");
 
         if (!last.metrics.completed) continue;
         ++measured;
@@ -195,8 +219,12 @@ void run_adaptive(int n_seeds) {
         overhead /= measured;
         makespan /= measured;
       }
-      bench::JsonRow()
-          .field("experiment", "E7b")
+      if (faulty == 0.0) {
+        clean_overhead_out[mode == rep::PolicyMode::kAdaptive ? 1 : 0] =
+            overhead;
+      }
+      bench::JsonRow row;
+      row.field("experiment", "E7b")
           .field("policy", rep::to_string(mode))
           .field("faulty_fraction", faulty)
           .field("seeds", n_seeds)
@@ -206,8 +234,9 @@ void run_adaptive(int n_seeds) {
           .field("makespan_s", makespan)
           .field("invalid_canonicals", invalid_canonicals)
           .field("trusted_singles", singles)
-          .field("spot_checks", spot_checks)
-          .emit();
+          .field("spot_checks", spot_checks);
+      std::printf("%s\n", row.str().c_str());
+      rows.push_back(row.str());
     }
   }
   std::printf(
@@ -222,7 +251,19 @@ void run_adaptive(int n_seeds) {
 int main(int argc, char** argv) {
   vcmr::bench::silence_logs();
   const int n_seeds = argc > 1 ? std::atoi(argv[1]) : 3;
-  vcmr::run(n_seeds);
-  vcmr::run_adaptive(n_seeds);
+  const char* out = argc > 2 ? argv[2] : "BENCH_VALIDATION.json";
+  std::vector<std::string> rows;
+  double clean_overhead[2] = {0, 0};
+  vcmr::run(n_seeds, rows);
+  vcmr::run_adaptive(n_seeds, rows, clean_overhead);
+  vcmr::bench::JsonRow headline;
+  headline.field("seeds", n_seeds)
+      .field("points", static_cast<int>(rows.size()))
+      .field("fixed_clean_overhead", clean_overhead[0])
+      .field("adaptive_clean_overhead", clean_overhead[1])
+      .field("adaptive_overhead_saving_x",
+             clean_overhead[1] > 0 ? clean_overhead[0] / clean_overhead[1]
+                                   : 0.0);
+  vcmr::bench::write_bench_doc(out, "E7", rows, headline.str());
   return 0;
 }

@@ -78,8 +78,8 @@ void Client::trace_end(std::size_t token) {
 
 void Client::note_backoff(SimTime delay, const char* why) {
   obs::MetricsRegistry::instance()
-      .histogram("client", "backoff_seconds",
-                 {30, 60, 120, 240, 480, 600}, {{"host", actor_}})
+      .histogram("client", "backoff_seconds", backoff_histogram_bounds(),
+                 {{"host", actor_}})
       .observe(delay.as_seconds());
   if (obs::EventBus::instance().active()) {
     obs::publish(sim_.now(), "client", "backoff", actor_,
@@ -441,6 +441,9 @@ void Client::start_input_fetch(Task& task, TaskInput& input) {
           [this, id, name, span](const mr::FilePayload& p) {
             trace_end(span);
             ++stats_.store_fetches;
+            obs::MetricsRegistry::instance()
+                .counter("client", "store_fetches")
+                .add();
             stats_.bytes_downloaded_store += p.size;
             obs::MetricsRegistry::instance()
                 .counter("store", "tier_egress_bytes", {{"tier", "volunteer"}})
@@ -611,6 +614,9 @@ void Client::input_failed(std::int64_t result_id, const std::string& name,
       // §III.C fallback: after n failed attempts, fetch from the server.
       log_.debug(actor_, ": falling back to server for ", name, " (", why, ")");
       ++stats_.server_fallbacks;
+      obs::MetricsRegistry::instance()
+          .counter("client", "server_fallbacks")
+          .add();
       it->use_server = true;
       download_queue_.emplace_back(result_id, name);
     } else {

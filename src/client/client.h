@@ -37,6 +37,15 @@
 
 namespace vcmr::client {
 
+/// Bucket bounds for the `client/backoff_seconds` histogram. The default
+/// backoff cap is 600 s, but the cap is configurable (backoff_max), so the
+/// bounds extend to an hour: observations above the last bound land in the
+/// overflow bucket, whose quantile() clamps to that bound and silently
+/// under-reports the tail (see obs::Histogram). Pinned in test_obs.cpp.
+inline std::vector<double> backoff_histogram_bounds() {
+  return {30, 60, 120, 240, 480, 600, 1200, 2400, 3600};
+}
+
 struct ClientConfig {
   bool mr_capable = false;   ///< BOINC-MR build vs plain 6.13.0 client
 

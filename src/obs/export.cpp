@@ -124,7 +124,8 @@ std::int64_t actor_tid(std::map<std::string, std::int64_t>& tids,
 }  // namespace
 
 std::string chrome_trace_json(const sim::TraceRecorder& trace,
-                              const std::vector<Event>& events) {
+                              const std::vector<Event>& events,
+                              const std::vector<CounterSample>& counters) {
   std::map<std::string, std::int64_t> tids;
   std::vector<std::string> order;
   std::vector<TraceItem> items;
@@ -177,6 +178,20 @@ std::string chrome_trace_json(const sim::TraceRecorder& trace,
         .field_json("args", "{\"component\": " + JsonWriter::quoted(ev.component) +
                                 ", \"detail\": " + JsonWriter::quoted(ev.detail) +
                                 "}");
+    items.push_back({ts, w.str()});
+  }
+
+  // Counter tracks carry no tid: Chrome/Perfetto key "ph":"C" series by
+  // (pid, name) and give each its own value track.
+  for (const auto& c : counters) {
+    const std::int64_t ts = c.at.as_micros();
+    JsonWriter w;
+    w.field("name", c.name)
+        .field("cat", "counter")
+        .field("ph", "C")
+        .field("ts", ts)
+        .field("pid", 0)
+        .field_json("args", "{\"value\": " + number(c.value) + "}");
     items.push_back({ts, w.str()});
   }
 

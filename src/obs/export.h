@@ -12,7 +12,9 @@
 //    JSON — load into chrome://tracing or Perfetto. One track (tid) per
 //    actor in first-seen order; spans become "ph":"X" complete events
 //    (ts/dur in microseconds), points and obs events become "ph":"i"
-//    instants.
+//    instants, and MetricsStreamer counter samples become "ph":"C"
+//    counter tracks (one per sample name) so Perfetto plots wire bytes,
+//    queue depths, and in-flight results over simulated time.
 //
 // Both return strings; callers own file I/O.
 
@@ -21,6 +23,7 @@
 
 #include "obs/event.h"
 #include "obs/metrics.h"
+#include "obs/stream.h"
 #include "sim/trace.h"
 
 namespace vcmr::obs {
@@ -28,6 +31,7 @@ namespace vcmr::obs {
 std::string metrics_json(const MetricsRegistry& registry);
 
 std::string chrome_trace_json(const sim::TraceRecorder& trace,
-                              const std::vector<Event>& events = {});
+                              const std::vector<Event>& events = {},
+                              const std::vector<CounterSample>& counters = {});
 
 }  // namespace vcmr::obs

@@ -1,0 +1,165 @@
+#include "obs/stream.h"
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace vcmr::obs {
+
+using common::JsonWriter;
+
+namespace {
+
+std::string labels_json(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ", ";
+    first = false;
+    out += JsonWriter::quoted(k) + ": " + JsonWriter::quoted(v);
+  }
+  return out + "}";
+}
+
+std::string number(double v) { return common::strprintf("%.6g", v); }
+
+}  // namespace
+
+std::string stream_sample_json(
+    const MetricsRegistry& registry, double sim_s, double wall_s,
+    std::int64_t events_executed, double events_per_sec,
+    std::int64_t peak_rss_bytes,
+    const std::vector<std::pair<std::string, double>>& probes) {
+  std::string probes_obj = "{";
+  bool first = true;
+  for (const auto& [name, value] : probes) {
+    if (!first) probes_obj += ", ";
+    first = false;
+    probes_obj += JsonWriter::quoted(name) + ": " + number(value);
+  }
+  probes_obj += "}";
+
+  std::string counters = "[";
+  first = true;
+  for (const auto& [key, c] : registry.counters()) {
+    if (!first) counters += ", ";
+    first = false;
+    JsonWriter w;
+    w.field("component", key.component)
+        .field("name", key.name)
+        .field_json("labels", labels_json(key.labels))
+        .field("value", c.value());
+    counters += w.str();
+  }
+  counters += "]";
+
+  std::string gauges = "[";
+  first = true;
+  for (const auto& [key, g] : registry.gauges()) {
+    if (!first) gauges += ", ";
+    first = false;
+    JsonWriter w;
+    w.field("component", key.component)
+        .field("name", key.name)
+        .field_json("labels", labels_json(key.labels))
+        .field("value", g.value());
+    gauges += w.str();
+  }
+  gauges += "]";
+
+  // Summary-only histograms: a stream row repeats every period, so the
+  // full bounds/buckets arrays (which metrics_json includes once) would
+  // dominate the file.
+  std::string histograms = "[";
+  first = true;
+  for (const auto& [key, h] : registry.histograms()) {
+    if (!first) histograms += ", ";
+    first = false;
+    JsonWriter w;
+    w.field("component", key.component)
+        .field("name", key.name)
+        .field_json("labels", labels_json(key.labels))
+        .field("count", h.count())
+        .field("sum", h.sum())
+        .field_json("p50", number(h.quantile(0.50)))
+        .field_json("p95", number(h.quantile(0.95)))
+        .field_json("p99", number(h.quantile(0.99)));
+    histograms += w.str();
+  }
+  histograms += "]";
+
+  JsonWriter top;
+  top.field("sim_s", sim_s)
+      .field("wall_s", wall_s)
+      .field("events_executed", events_executed)
+      .field("events_per_sec", events_per_sec)
+      .field("peak_rss_bytes", peak_rss_bytes)
+      .field_json("probes", probes_obj)
+      .field_json("counters", counters)
+      .field_json("gauges", gauges)
+      .field_json("histograms", histograms);
+  return top.str();
+}
+
+MetricsStreamer::MetricsStreamer(sim::Simulation& sim, std::ostream& out,
+                                 Options opt)
+    : sim_(sim),
+      out_(out),
+      opt_(std::move(opt)),
+      wall_start_(std::chrono::steady_clock::now()),
+      task_(sim, opt_.period, [this] { sample(); }) {}
+
+MetricsStreamer::MetricsStreamer(sim::Simulation& sim, std::ostream& out)
+    : MetricsStreamer(sim, out, Options()) {}
+
+void MetricsStreamer::add_probe(std::string name, std::function<double()> fn) {
+  probes_.emplace_back(std::move(name), std::move(fn));
+}
+
+void MetricsStreamer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  task_.cancel();
+  sample();
+}
+
+void MetricsStreamer::sample() {
+  const MetricsRegistry& reg = MetricsRegistry::instance();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  const auto events = static_cast<std::int64_t>(sim_.events_executed());
+  const double wall_delta = wall_s - last_wall_s_;
+  const double events_per_sec =
+      wall_delta > 0
+          ? static_cast<double>(events - last_events_) / wall_delta
+          : 0.0;
+  last_wall_s_ = wall_s;
+  last_events_ = events;
+
+  std::vector<std::pair<std::string, double>> probe_values;
+  probe_values.reserve(probes_.size());
+  for (const auto& [name, fn] : probes_) probe_values.emplace_back(name, fn());
+
+  // One line per row, flushed: a killed run keeps everything up to here.
+  out_ << stream_sample_json(reg, sim_.now().as_seconds(), wall_s, events,
+                             events_per_sec, peak_rss_bytes(), probe_values)
+       << "\n"
+       << std::flush;
+  ++samples_;
+
+  if (opt_.counter_tracks) {
+    for (const auto& [component, name] : opt_.track_counters) {
+      counter_samples_.push_back(
+          {sim_.now(), component + "/" + name,
+           static_cast<double>(reg.counter_total(component, name))});
+    }
+    for (const auto& [name, value] : probe_values) {
+      counter_samples_.push_back({sim_.now(), name, value});
+    }
+    counter_samples_.push_back({sim_.now(), "sim/events_executed",
+                                static_cast<double>(events)});
+  }
+}
+
+}  // namespace vcmr::obs

@@ -1,0 +1,109 @@
+#pragma once
+// vcmr::obs — streaming (during-run) telemetry exporter.
+//
+// `--metrics-json` renders only after a run exits, so a long sweep is a
+// black box until it finishes. MetricsStreamer arms a periodic sampling
+// event on the *simulation* clock and appends one JSON-lines row per tick:
+// sim time, wall time, events executed, events/sec, peak RSS, caller
+// probes (live values such as ready-queue depth), and a snapshot of every
+// registry counter/gauge plus histogram count/sum/p50/p95/p99. Each row is
+// flushed as it is written, so a killed or wedged run still leaves a
+// readable time series up to its last tick.
+//
+// Pay-for-what-you-touch: constructing a streamer schedules sampling
+// events (they count in events_executed()), but sampling makes no RNG draw
+// and sends no wire bytes, so run *outcomes* — makespans, byte counts,
+// golden traces — are identical with and without a stream (pinned in
+// tests/test_stream.cpp). No streamer, no sampling events at all.
+//
+// With Options::counter_tracks the streamer also buffers CounterSamples,
+// which chrome_trace_json renders as "ph":"C" counter tracks so Perfetto
+// shows wire bytes, in-flight results, and queue depths over time.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/simulation.h"
+
+namespace vcmr::obs {
+
+/// One sampled value for a Chrome-trace "ph":"C" counter track.
+struct CounterSample {
+  SimTime at;
+  std::string name;  ///< track name, e.g. "scheduler/wire_bytes_out"
+  double value = 0;
+};
+
+/// Renders one sample row from explicit inputs (deterministic; the schema
+/// pin in tests feeds fixed values). MetricsStreamer supplies live ones.
+std::string stream_sample_json(
+    const MetricsRegistry& registry, double sim_s, double wall_s,
+    std::int64_t events_executed, double events_per_sec,
+    std::int64_t peak_rss_bytes,
+    const std::vector<std::pair<std::string, double>>& probes);
+
+class MetricsStreamer {
+ public:
+  struct Options {
+    /// Simulated time between samples. The first row lands one period in;
+    /// finish() adds a final row at the current clock.
+    SimTime period = SimTime::seconds(60);
+    /// Also buffer counter_samples() for the Chrome-trace exporter.
+    bool counter_tracks = false;
+    /// Registry counter families (component, name) sampled into counter
+    /// tracks, summed across label sets. Probes are always tracked.
+    std::vector<std::pair<std::string, std::string>> track_counters = {
+        {"scheduler", "wire_bytes_in"},
+        {"scheduler", "wire_bytes_out"},
+        {"scheduler", "results_dispatched"},
+    };
+  };
+
+  /// Samples MetricsRegistry::instance() at each tick and appends rows to
+  /// `out` (caller owns the stream; it must outlive the streamer).
+  MetricsStreamer(sim::Simulation& sim, std::ostream& out, Options opt);
+  MetricsStreamer(sim::Simulation& sim, std::ostream& out);
+  ~MetricsStreamer() = default;
+
+  MetricsStreamer(const MetricsStreamer&) = delete;
+  MetricsStreamer& operator=(const MetricsStreamer&) = delete;
+
+  /// Registers a live value rendered in each row's "probes" object (and as
+  /// a counter track). Call before the first tick fires.
+  void add_probe(std::string name, std::function<double()> fn);
+
+  /// Emits one final row at the current sim time and stops sampling.
+  /// Call after the run settles so end-of-run roll-ups are included;
+  /// idempotent. A streamer that is destroyed without finish() (the
+  /// "killed run" case) leaves the rows flushed so far.
+  void finish();
+
+  /// Rows written so far (ticks plus the finish() row).
+  std::int64_t samples() const { return samples_; }
+  const std::vector<CounterSample>& counter_samples() const {
+    return counter_samples_;
+  }
+
+ private:
+  void sample();
+
+  sim::Simulation& sim_;
+  std::ostream& out_;
+  Options opt_;
+  std::vector<std::pair<std::string, std::function<double()>>> probes_;
+  std::vector<CounterSample> counter_samples_;
+  std::chrono::steady_clock::time_point wall_start_;
+  double last_wall_s_ = 0;
+  std::int64_t last_events_ = 0;
+  std::int64_t samples_ = 0;
+  bool finished_ = false;
+  sim::PeriodicTask task_;  // last: its callback touches the members above
+};
+
+}  // namespace vcmr::obs

@@ -17,7 +17,11 @@ void note_daemon_pass(sim::Simulation& sim, const char* daemon,
   auto& reg = obs::MetricsRegistry::instance();
   reg.counter("daemon", "passes", {{"daemon", daemon}}).add();
   reg.counter("daemon", "rows_touched", {{"daemon", daemon}}).add(rows);
-  reg.histogram("daemon", "rows_per_pass", {0, 1, 2, 4, 8, 16, 32, 64},
+  // Bounds reach well past small-fleet row counts: a feeder pass over a
+  // large fleet can touch thousands of rows, and the overflow bucket would
+  // clamp p99 to the last bound (obs::Histogram::quantile).
+  reg.histogram("daemon", "rows_per_pass",
+                {0, 1, 2, 4, 8, 16, 32, 64, 256, 1024, 4096},
                 {{"daemon", daemon}})
       .observe(static_cast<double>(rows));
   if (rows > 0) {

@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace vcmr::server {
 
 void Validator::pass(SimTime now) {
@@ -109,11 +111,17 @@ void Validator::check(db::WorkUnitRecord& wu, SimTime now) {
         if (rep_) rep_->record_valid(r.host);
       }
       ++stats_.results_valid;
+      obs::MetricsRegistry::instance()
+          .counter("validator", "results_valid")
+          .add();
     } else {
       r.validate_state = db::ValidateState::kInvalid;
       r.outcome = db::Outcome::kValidateError;
       if (rep_ && r.host.valid()) rep_->record_invalid(r.host);
       ++stats_.results_invalid;
+      obs::MetricsRegistry::instance()
+          .counter("validator", "results_invalid")
+          .add();
     }
   }
 

@@ -59,4 +59,26 @@ bool Simulation::run_until(const std::function<bool()>& pred, SimTime deadline) 
   return pred();
 }
 
+PeriodicTask::PeriodicTask(Simulation& sim, SimTime period,
+                           std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  require(period_ > SimTime::zero(), "PeriodicTask: period must be positive");
+  arm();
+}
+
+void PeriodicTask::cancel() {
+  if (cancelled_) return;
+  cancelled_ = true;
+  if (pending_.valid()) sim_.cancel(pending_);
+}
+
+void PeriodicTask::arm() {
+  pending_ = sim_.after(period_, [this] {
+    ++fired_;
+    fn_();
+    // fn_ may cancel() us; only then skip re-arming.
+    if (!cancelled_) arm();
+  });
+}
+
 }  // namespace vcmr::sim

@@ -60,4 +60,33 @@ class Simulation {
   std::size_t events_executed_ = 0;
 };
 
+/// Re-arming periodic event: fires `fn` every `period` of simulated time,
+/// starting one period after construction, until cancelled or destroyed.
+/// Used by instrumentation (obs::MetricsStreamer) that needs a sampling
+/// tick on the virtual clock; each firing counts as one executed event.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulation& sim, SimTime period, std::function<void()> fn);
+  ~PeriodicTask() { cancel(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Stops future firings; the in-flight callback (if any) completes.
+  void cancel();
+
+  SimTime period() const { return period_; }
+  std::int64_t fired() const { return fired_; }
+
+ private:
+  void arm();
+
+  Simulation& sim_;
+  SimTime period_;
+  std::function<void()> fn_;
+  EventHandle pending_;
+  std::int64_t fired_ = 0;
+  bool cancelled_ = false;
+};
+
 }  // namespace vcmr::sim

@@ -13,9 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "client/client.h"
 #include "common/error.h"
 #include "common/json.h"
 #include "core/cluster.h"
+#include "json_checker.h"
 #include "obs/event.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -28,120 +30,6 @@ using common::JsonWriter;
 using obs::EventLog;
 using obs::MetricsRegistry;
 using obs::ScopedMetricsRegistry;
-
-// --- minimal JSON validator ------------------------------------------------
-// Recursive-descent syntax check, enough to catch malformed exporter output
-// (unbalanced braces, bad escapes, trailing commas) without a JSON library.
-
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& s) : s_(s) {}
-
-  bool valid() {
-    ws();
-    if (!value()) return false;
-    ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-  bool object() {
-    ++pos_;  // '{'
-    ws();
-    if (peek('}')) { ++pos_; return true; }
-    while (true) {
-      ws();
-      if (!string()) return false;
-      ws();
-      if (!peek(':')) return false;
-      ++pos_;
-      ws();
-      if (!value()) return false;
-      ws();
-      if (peek(',')) { ++pos_; continue; }
-      if (peek('}')) { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool array() {
-    ++pos_;  // '['
-    ws();
-    if (peek(']')) { ++pos_; return true; }
-    while (true) {
-      ws();
-      if (!value()) return false;
-      ws();
-      if (peek(',')) { ++pos_; continue; }
-      if (peek(']')) { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool string() {
-    if (!peek('"')) return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        const char e = s_[pos_];
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= s_.size() || !std::isxdigit(
-                    static_cast<unsigned char>(s_[pos_]))) {
-              return false;
-            }
-          }
-        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing '"'
-    return true;
-  }
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek('-')) ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool literal(const char* lit) {
-    const std::string l(lit);
-    if (s_.compare(pos_, l.size(), l) != 0) return false;
-    pos_ += l.size();
-    return true;
-  }
-  void ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool peek(char c) const { return pos_ < s_.size() && s_[pos_] == c; }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
 
 // --- JsonWriter (satellite 1: the hoisted bench JSON path) -----------------
 
@@ -324,6 +212,38 @@ TEST(Histogram, QuantileInterpolatesWithinBuckets) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 120);
 }
 
+TEST(Histogram, OverflowBucketClampsQuantilesToLastBound) {
+  // The overflow bucket has no upper edge, so quantile() clamps any rank
+  // landing there to bounds_.back() and under-reports the true tail. The
+  // clamp is by design (fixed-bucket histograms keep no raw samples); the
+  // defence is choosing bounds that cover the realistic range, which the
+  // backoff test below pins.
+  obs::Histogram h({10, 20});
+  h.observe(5000);
+  h.observe(9000);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 20);  // true median is 5000+
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 20);
+  EXPECT_DOUBLE_EQ(h.sum(), 14000.0);  // sum still sees the real values
+}
+
+TEST(Histogram, BackoffBoundsCoverConfigurableCap) {
+  // client/backoff_seconds historically topped out at 600 s — exactly the
+  // *default* backoff_max — so any run with a raised cap pushed every long
+  // draw into the overflow bucket and quantile() clamped p95/p99 to 600.
+  // The widened bounds keep one resolvable decade above the default cap.
+  const std::vector<double> bounds = client::backoff_histogram_bounds();
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_EQ(bounds.back(), 3600);
+  EXPECT_GT(bounds.back(),
+            client::ClientConfig().backoff_max.as_seconds() * 2);
+
+  obs::Histogram h(bounds);
+  h.observe(1800);  // a draw under a raised (1-hour) cap...
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2400);  // ...resolves within bounds
+  h.observe(7200);  // beyond every bound: the documented clamp kicks in
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3600);
+}
+
 TEST(Export, HistogramPercentileFormatPin) {
   // Format pin: every histogram object carries p50/p95/p99 summaries in
   // this exact rendering (%.6g numbers, after count and sum). Downstream
@@ -476,7 +396,7 @@ TEST(ObsIntegration, Fig4StragglerDominatesBackoffHistogram) {
     ASSERT_EQ(key.labels.size(), 1u);
     if (key.labels[0].second != straggler) continue;
     found_straggler_hist = true;
-    const auto& buckets = h.buckets();  // bounds {30,60,120,240,480,600}
+    const auto& buckets = h.buckets();  // client::backoff_histogram_bounds()
     std::int64_t long_draws = 0;
     for (std::size_t i = 3; i < buckets.size(); ++i) long_draws += buckets[i];
     EXPECT_GT(long_draws, 0);

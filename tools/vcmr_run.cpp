@@ -8,14 +8,20 @@
 //   vcmr_run scenario.xml --trace-out p   ...and write a Chrome trace-event
 //                                         JSON timeline to p (implies
 //                                         record_trace)
+//   vcmr_run scenario.xml --metrics-stream p [--stream-period s]
+//                                         ...and append one JSON-lines
+//                                         telemetry sample to p every s
+//                                         simulated seconds (default 60)
 //   vcmr_run --template                   print a fully populated scenario.xml
 //   vcmr_run --echo scenario.xml          parse and print the normalized form
 //   vcmr_run --help                       print usage and the exit contract
 //
-// Exit status: 0 on job completion, 2 on job failure/timeout, 1 on usage
-// or parse errors.
+// Exit status: 0 on job completion, 2 on job failure/timeout or bad
+// streaming flags (non-positive period, unwritable stream path), 1 on
+// usage or parse errors.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -25,9 +31,12 @@
 #include "common/json.h"
 #include "core/cluster.h"
 #include "core/scenario_io.h"
+#include "db/database.h"
+#include "db/schema.h"
 #include "obs/event.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/stream.h"
 
 namespace {
 
@@ -49,6 +58,7 @@ void print_usage(std::FILE* to) {
   std::fputs(
       "usage: vcmr_run <scenario.xml> [--snapshot <db.xml>]\n"
       "                [--metrics-json <out.json>] [--trace-out <out.json>]\n"
+      "                [--metrics-stream <out.jsonl>] [--stream-period <s>]\n"
       "       vcmr_run --template\n"
       "       vcmr_run --echo <scenario.xml>\n"
       "       vcmr_run --help\n",
@@ -70,10 +80,19 @@ int help() {
       "  --trace-out <out>         write a Chrome trace-event JSON timeline\n"
       "                            (chrome://tracing / Perfetto); implies\n"
       "                            record_trace for this run\n"
+      "  --metrics-stream <out>    append one JSON-lines telemetry sample per\n"
+      "                            sampling tick (sim time, events/sec, peak\n"
+      "                            RSS, registry snapshot, live queue depths),\n"
+      "                            flushed per row; with --trace-out the same\n"
+      "                            samples render as Perfetto counter tracks\n"
+      "  --stream-period <s>       simulated seconds between samples\n"
+      "                            (default 60; requires --metrics-stream)\n"
       "\n"
       "exit status:\n"
       "  0  job completed\n"
-      "  2  job failed or hit the scenario time limit\n"
+      "  2  job failed or hit the scenario time limit; also a bad\n"
+      "     --stream-period (non-positive or unparsable), --stream-period\n"
+      "     without --metrics-stream, or an unwritable --metrics-stream path\n"
       "  1  usage or scenario-parse error\n",
       stdout);
   return 0;
@@ -269,14 +288,47 @@ int main(int argc, char** argv) {
     if (arg.rfind("--", 0) == 0) return usage();
 
     std::string snapshot_path, metrics_path, trace_path;
+    std::string stream_path, stream_period_str;
     for (int i = 2; i < argc; ++i) {
       const std::string flag = argv[i];
       std::string* dest = nullptr;
       if (flag == "--snapshot") dest = &snapshot_path;
       else if (flag == "--metrics-json") dest = &metrics_path;
       else if (flag == "--trace-out") dest = &trace_path;
+      else if (flag == "--metrics-stream") dest = &stream_path;
+      else if (flag == "--stream-period") dest = &stream_period_str;
       if (dest == nullptr || i + 1 >= argc) return usage();
       *dest = argv[++i];
+    }
+
+    // Streaming-flag contract: configuration mistakes exit 2 with a
+    // message before any simulation work happens.
+    double stream_period_s = 60.0;
+    if (!stream_period_str.empty()) {
+      if (stream_path.empty()) {
+        std::fprintf(stderr,
+                     "vcmr_run: --stream-period requires --metrics-stream\n");
+        return 2;
+      }
+      char* end = nullptr;
+      stream_period_s = std::strtod(stream_period_str.c_str(), &end);
+      if (end == stream_period_str.c_str() || *end != '\0' ||
+          !(stream_period_s > 0)) {
+        std::fprintf(stderr,
+                     "vcmr_run: bad --stream-period '%s' (want a positive "
+                     "number of simulated seconds)\n",
+                     stream_period_str.c_str());
+        return 2;
+      }
+    }
+    std::ofstream stream_out;
+    if (!stream_path.empty()) {
+      stream_out.open(stream_path);
+      if (!stream_out) {
+        std::fprintf(stderr, "vcmr_run: cannot write --metrics-stream %s\n",
+                     stream_path.c_str());
+        return 2;
+      }
     }
 
     common::LogConfig::instance().set_level(common::LogLevel::kWarn);
@@ -295,11 +347,38 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) event_log = std::make_unique<obs::EventLog>();
 
     core::Cluster cluster(s);
+
+    std::unique_ptr<obs::MetricsStreamer> streamer;
+    if (!stream_path.empty()) {
+      obs::MetricsStreamer::Options opt;
+      opt.period = SimTime::seconds(stream_period_s);
+      opt.counter_tracks = !trace_path.empty();
+      streamer = std::make_unique<obs::MetricsStreamer>(cluster.simulation(),
+                                                        stream_out, opt);
+      const db::Database& database = cluster.project().database();
+      // Ready results waiting for a scheduler RPC: O(1) index reads.
+      streamer->add_probe("db/ready_results", [&database] {
+        return static_cast<double>(database.unsent_audit().size() +
+                                   database.unsent_bulk().size());
+      });
+      // In-flight results: a full scan, but only streaming runs pay for it.
+      streamer->add_probe("db/in_flight_results", [&database] {
+        std::int64_t n = 0;
+        database.for_each_result([&n](const db::ResultRecord& r) {
+          if (r.server_state == db::ServerState::kInProgress) ++n;
+        });
+        return static_cast<double>(n);
+      });
+    }
+
     bool ok = false;
     if (!s.workflow.empty()) {
       // A <workflow> block takes over: run the DAG / iterative coordinator
       // instead of the single flat job.
       const core::WorkflowRunResult res = cluster.run_workflow();
+      // Final row lands after the run settles so end-of-run roll-up gauges
+      // match what --metrics-json reports.
+      if (streamer) streamer->finish();
       report_workflow(res);
       ok = res.completed;
       if (!metrics_path.empty()) {
@@ -308,12 +387,19 @@ int main(int argc, char** argv) {
       }
     } else {
       const core::RunOutcome out = cluster.run_job();
+      if (streamer) streamer->finish();
       report(out);
       ok = out.metrics.completed;
       if (!metrics_path.empty()) {
         write_file(metrics_path, run_metrics_json(arg, out));
         std::printf("metrics json  : %s\n", metrics_path.c_str());
       }
+    }
+    if (streamer) {
+      std::printf("metrics stream: %s (%lld samples, every %g sim s)\n",
+                  stream_path.c_str(),
+                  static_cast<long long>(streamer->samples()),
+                  stream_period_s);
     }
 
     if (!snapshot_path.empty()) {
@@ -322,7 +408,10 @@ int main(int argc, char** argv) {
     }
     if (!trace_path.empty()) {
       write_file(trace_path,
-                 obs::chrome_trace_json(cluster.trace(), event_log->events()) +
+                 obs::chrome_trace_json(
+                     cluster.trace(), event_log->events(),
+                     streamer ? streamer->counter_samples()
+                              : std::vector<obs::CounterSample>{}) +
                      "\n");
       std::printf("chrome trace  : %s\n", trace_path.c_str());
     }

@@ -1,0 +1,123 @@
+#pragma once
+// bench::SeedPool — fixed-size worker pool for embarrassingly parallel
+// sweep execution.
+//
+// Every experiment binary is a loop over independent (config, seed) points:
+// one simulation, one metrics registry, one RNG universe per point, no
+// shared state between points (the BOINC work-unit shape, applied to our
+// own harness). The pool runs those points on N worker threads and hands
+// the results back **in task order** regardless of completion order, so
+// every stdout row, golden pin, and BENCH_*.json doc a bench renders from
+// the results is byte-identical to a serial sweep.
+//
+// Determinism argument, in short:
+//   - each task runs under its own ScopedMetricsRegistry (thread-local
+//     current pointer, see obs/metrics.h) and its own simulation + RNG
+//     streams, so nothing a task computes depends on scheduling;
+//   - results come back indexed by task, and callers reduce them in task
+//     (= seed) order — integer counter merges are order-independent and
+//     the floating-point reductions replay the serial loop's operation
+//     order exactly;
+//   - worker threads have a silent thread-local EventBus and their own
+//     log time-provider slot, so no cross-thread observer state exists.
+//
+// `--jobs 1` in the benches does NOT use the pool: they keep the literal
+// historical serial loop, which doubles as the reference the parallel
+// path is pinned against (tests/test_seed_pool.cpp, CI byte-compare).
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace vcmr::bench {
+
+/// A sweep task failed. Carries the task index (the seed's position in the
+/// submitted batch) so the sweep can die loudly naming the seed instead of
+/// averaging over a silent hole.
+class SeedPoolError : public std::runtime_error {
+ public:
+  SeedPoolError(int task_index, const std::string& what)
+      : std::runtime_error("seed task " + std::to_string(task_index) + ": " +
+                           what),
+        task_index_(task_index) {}
+
+  int task_index() const { return task_index_; }
+
+ private:
+  int task_index_;
+};
+
+/// A pool task's return value plus a copy of everything its simulation
+/// recorded in the task-private metrics registry. Merge the registries in
+/// task order with MetricsRegistry::merge_from to reproduce a serial
+/// sweep's aggregate registry.
+template <class T>
+struct Metered {
+  T value{};
+  obs::MetricsRegistry metrics;
+};
+
+class SeedPool {
+ public:
+  /// `jobs` worker threads (clamped to >= 1).
+  explicit SeedPool(int jobs);
+
+  int jobs() const { return jobs_; }
+
+  /// std::thread::hardware_concurrency(), min 1 — the `--jobs` default.
+  static int default_jobs();
+
+  /// Runs fn(i) for i in [0, n) on the workers; returns the results in
+  /// task order. Each invocation runs under a fresh ScopedMetricsRegistry
+  /// (discarded — use map_metered to keep it). If any task throws, the
+  /// batch still drains, then the lowest-index failure is rethrown as a
+  /// SeedPoolError naming the task.
+  template <class Fn>
+  auto map(int n, Fn&& fn) -> std::vector<decltype(fn(0))> {
+    using T = decltype(fn(0));
+    std::vector<std::optional<T>> slots(static_cast<std::size_t>(n));
+    run_indexed(n, [&](int i) {
+      slots[static_cast<std::size_t>(i)].emplace(fn(i));
+    });
+    std::vector<T> out;
+    out.reserve(slots.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// map(), but each result also carries the task-private registry.
+  template <class Fn>
+  auto map_metered(int n, Fn&& fn) -> std::vector<Metered<decltype(fn(0))>> {
+    using T = decltype(fn(0));
+    std::vector<std::optional<Metered<T>>> slots(
+        static_cast<std::size_t>(n));
+    run_indexed(n, [&](int i) {
+      Metered<T> m;
+      m.value = fn(i);
+      m.metrics = obs::MetricsRegistry::instance();  // the task's own scope
+      slots[static_cast<std::size_t>(i)].emplace(std::move(m));
+    });
+    std::vector<Metered<T>> out;
+    out.reserve(slots.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  /// Type-erased core: min(jobs, n) workers pull task indices from a
+  /// shared cursor; every body(i) runs under its own scoped registry.
+  void run_indexed(int n, const std::function<void(int)>& body);
+
+  int jobs_;
+};
+
+/// Strips `--jobs N` / `--jobs=N` from argv (so positional argument
+/// handling in the benches is untouched) and returns N; default_jobs()
+/// when the flag is absent. Malformed or < 1 values exit(2).
+int parse_jobs_flag(int& argc, char** argv);
+
+}  // namespace vcmr::bench

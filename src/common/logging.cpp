@@ -42,14 +42,20 @@ void LogConfig::emit(const LogRecord& rec) const {
   if (sink_) sink_(rec);
 }
 
-void LogConfig::set_time_provider(std::function<SimTime()> provider) {
-  time_provider_ = std::move(provider);
+std::function<SimTime()>& LogConfig::time_provider_slot() {
+  thread_local std::function<SimTime()> provider;
+  return provider;
 }
-void LogConfig::clear_time_provider() { time_provider_ = nullptr; }
+
+void LogConfig::set_time_provider(std::function<SimTime()> provider) {
+  time_provider_slot() = std::move(provider);
+}
+void LogConfig::clear_time_provider() { time_provider_slot() = nullptr; }
 
 bool LogConfig::time(SimTime* out) const {
-  if (!time_provider_) return false;
-  *out = time_provider_();
+  const auto& provider = time_provider_slot();
+  if (!provider) return false;
+  *out = provider();
   return true;
 }
 

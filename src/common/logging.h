@@ -44,17 +44,23 @@ class LogConfig {
   void emit(const LogRecord& rec) const;
 
   /// Simulation clock provider; set by sim::Simulation when constructed.
+  /// The slot is thread-local: each thread's provider is the simulation
+  /// *running on that thread*, so pool workers each stamp logs with their
+  /// own sim clock and never race on this write (the level and sink stay
+  /// process-wide — configure those before spawning workers).
   void set_time_provider(std::function<SimTime()> provider);
   void clear_time_provider();
-  std::function<SimTime()> time_provider() const { return time_provider_; }
+  std::function<SimTime()> time_provider() const {
+    return time_provider_slot();
+  }
 
   bool time(SimTime* out) const;
 
  private:
   LogConfig();
+  static std::function<SimTime()>& time_provider_slot();
   LogLevel level_ = LogLevel::kInfo;
   LogSink sink_;
-  std::function<SimTime()> time_provider_;
 };
 
 /// RAII guards for the process-wide LogConfig singletons. A sink or time

@@ -58,6 +58,12 @@ class Rng {
 /// Derives independent child generators from (root seed, stream name, index).
 /// Same inputs always give the same stream, so adding a new consumer never
 /// perturbs existing ones.
+///
+/// Concurrency audit (bench::SeedPool): stream() is const and pure — it
+/// hashes (root seed, name, index) into a fresh Rng with no shared or
+/// static state — so one factory may be read from many threads. Rng itself
+/// holds only per-instance state; each pool task builds its own simulation
+/// and therefore its own generators, one RNG universe per worker.
 class RngStreamFactory {
  public:
   explicit RngStreamFactory(std::uint64_t root_seed) : root_(root_seed) {}

@@ -1,5 +1,7 @@
 #include "mr/app.h"
 
+#include <mutex>
+
 #include "common/error.h"
 #include "mr/apps.h"
 
@@ -31,15 +33,22 @@ std::vector<std::string> AppRegistry::names() const {
 }
 
 void register_builtin_apps() {
-  AppRegistry& reg = AppRegistry::instance();
-  if (reg.find("word_count")) return;  // already done
-  reg.register_app(std::make_unique<WordCountApp>());
-  reg.register_app(std::make_unique<GrepApp>());
-  reg.register_app(std::make_unique<InvertedIndexApp>());
-  reg.register_app(std::make_unique<LengthHistogramApp>());
-  reg.register_app(std::make_unique<CountRangeApp>());
-  reg.register_app(std::make_unique<PageRankApp>());
-  reg.register_app(std::make_unique<GrepBloomApp>());
+  // Called lazily from JobTracker/client construction, which under
+  // bench::SeedPool happens on several worker threads at once. call_once
+  // makes the check-then-insert atomic; after the first return the
+  // registry is never mutated again, so concurrent find() is read-only.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    AppRegistry& reg = AppRegistry::instance();
+    if (reg.find("word_count")) return;  // already done
+    reg.register_app(std::make_unique<WordCountApp>());
+    reg.register_app(std::make_unique<GrepApp>());
+    reg.register_app(std::make_unique<InvertedIndexApp>());
+    reg.register_app(std::make_unique<LengthHistogramApp>());
+    reg.register_app(std::make_unique<CountRangeApp>());
+    reg.register_app(std::make_unique<PageRankApp>());
+    reg.register_app(std::make_unique<GrepBloomApp>());
+  });
 }
 
 }  // namespace vcmr::mr

@@ -5,7 +5,13 @@
 namespace vcmr::obs {
 
 EventBus& EventBus::instance() {
-  static EventBus bus;
+  // One bus per thread. Subscribe/unsubscribe mutate a plain vector with
+  // no synchronization — safe only because no other thread can ever reach
+  // this bus. Exporters and tests all subscribe on the thread that runs
+  // their simulation, so the historical single-threaded behaviour is
+  // unchanged, and SeedPool workers start with a silent bus (publish()
+  // early-outs on active()).
+  thread_local EventBus bus;
   return bus;
 }
 

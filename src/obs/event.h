@@ -13,6 +13,15 @@
 // any of its string arguments beyond pass-by-reference). Subscribers are
 // installed only by exporter-enabled runs and tests, via
 // ScopedEventSubscription / EventLog so they cannot leak across tests.
+//
+// Thread contract: instance() returns a *thread-local* bus. The historical
+// implementation was one process-wide bus whose subscriber vector was
+// mutated without synchronization — a latent data race once sweeps run
+// seeds on worker threads. Per-thread buses remove the race without locks
+// on the publish hot path: a subscription only ever sees events published
+// from its own thread (which is also what the exporters want — each worker
+// runs a whole simulation), and ScopedEventSubscription must be destroyed
+// on the thread that created it. Pinned by Events.BusIsThreadLocal.
 
 #include <cstdint>
 #include <functional>

@@ -33,6 +33,16 @@ void Histogram::observe(double x) {
   sum_ += x;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  require(bounds_ == other.bounds_,
+          "Histogram::merge_from: bucket bounds differ");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double Histogram::quantile(double q) const {
   require(q >= 0 && q <= 1, "Histogram::quantile: q must be in [0,1]");
   if (count_ == 0) return 0;
@@ -57,8 +67,13 @@ double Histogram::quantile(double q) const {
 }
 
 MetricsRegistry*& MetricsRegistry::current() {
+  // One shared root for the whole process, but a per-thread *current*
+  // pointer: every thread starts at the root (main-thread behaviour is the
+  // historical one), and ScopedMetricsRegistry redirects only its own
+  // thread. Pool workers therefore isolate themselves by installing a
+  // scope, without any locking on the hot counter path.
   static MetricsRegistry root;
-  static MetricsRegistry* cur = &root;
+  thread_local MetricsRegistry* cur = &root;
   return cur;
 }
 
@@ -92,6 +107,23 @@ std::int64_t MetricsRegistry::counter_total(const std::string& component,
     if (key.component == component && key.name == name) total += c.value();
   }
   return total;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, c] : other.counters_) {
+    counters_[key].add(c.value());
+  }
+  for (const auto& [key, g] : other.gauges_) {
+    gauges_[key].add(g.value());
+  }
+  for (const auto& [key, h] : other.histograms_) {
+    const auto it = histograms_.find(key);
+    if (it == histograms_.end()) {
+      histograms_.emplace(key, h);
+      continue;
+    }
+    it->second.merge_from(h);
+  }
 }
 
 void MetricsRegistry::reset() {

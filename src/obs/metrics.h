@@ -19,6 +19,18 @@
 // report binaries that need isolation install a fresh one with
 // ScopedMetricsRegistry, which restores the previous registry on scope
 // exit.
+//
+// Thread contract (bench::SeedPool): the current-registry pointer is
+// thread-local. Every thread starts at the shared process-wide root — the
+// main thread's behaviour is exactly the historical single-threaded one —
+// and a ScopedMetricsRegistry installs/restores only on the installing
+// thread. A scope live on one thread is invisible to every other thread,
+// so pool workers that each install their own scope never observe each
+// other's counters (pinned by Metrics.RegistryIsolationAcrossThreads).
+// The root itself is NOT internally synchronized: threads that bump
+// metrics concurrently must each be under their own scoped registry, as
+// SeedPool arranges. merge_from() recombines per-worker registries into a
+// deterministic aggregate afterwards.
 
 #include <cstdint>
 #include <map>
@@ -72,6 +84,10 @@ class Histogram {
   /// lower bound (there is no upper edge to interpolate towards).
   double quantile(double q) const;
 
+  /// Adds another histogram's buckets, count, and sum; the bounds must be
+  /// identical (same registration key implies same bounds by contract).
+  void merge_from(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::int64_t> buckets_;
@@ -113,6 +129,16 @@ class MetricsRegistry {
   std::int64_t counter_total(const std::string& component,
                              const std::string& name) const;
 
+  /// Folds `other` into this registry: counters and gauges add; histograms
+  /// add bucket-wise (bounds must match — first merge registers them).
+  /// Integer aggregates (counter values, histogram counts/buckets) are
+  /// order-independent, so merging per-seed registries in seed order
+  /// reproduces a serial sweep's totals exactly; histogram sums are
+  /// floating-point and associativity-sensitive, so exporters that need
+  /// bit-identical sums must reduce in a fixed order (SeedPool merges in
+  /// seed order).
+  void merge_from(const MetricsRegistry& other);
+
   void reset();
 
  private:
@@ -125,7 +151,10 @@ class MetricsRegistry {
 };
 
 /// RAII: a fresh registry for the enclosing scope; instance() resolves to
-/// it until destruction, which restores the previous registry.
+/// it until destruction, which restores the previous registry. The scope
+/// is per-thread: it must be destroyed on the thread that created it, and
+/// other threads (including ones spawned inside the scope) keep resolving
+/// instance() to their own current registry.
 class ScopedMetricsRegistry {
  public:
   ScopedMetricsRegistry();
@@ -143,7 +172,10 @@ class ScopedMetricsRegistry {
 
 /// Peak resident set size of this process in bytes (getrusage ru_maxrss),
 /// for the scale benchmarks' memory-footprint rows. Monotone over the
-/// process lifetime; 0 on platforms without getrusage.
+/// process lifetime; 0 on platforms without getrusage. Thread-safe (one
+/// syscall, no shared state) — but because the value is process-wide and
+/// monotone, rows measured on a busy pool see the high-water mark of
+/// *all* concurrent simulations, not their own.
 std::int64_t peak_rss_bytes();
 
 }  // namespace vcmr::obs

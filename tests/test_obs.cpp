@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstddef>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/client.h"
@@ -139,6 +141,106 @@ TEST(Metrics, ScopedRegistryIsolatesAndRestores) {
   EXPECT_EQ(outer.counter_total("t", "x"), outer_before);
 }
 
+// The SeedPool isolation property: the current-registry pointer is
+// thread-local, so two workers under their own scoped registries bumping
+// the *same-named* counter concurrently never observe each other, and the
+// shared root is untouched.
+TEST(Metrics, RegistryIsolationAcrossThreads) {
+  auto& root = MetricsRegistry::instance();
+  const std::int64_t root_before = root.counter_total("iso", "c");
+  constexpr int kIters = 5000;
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  const auto worker = [&](std::int64_t step) {
+    ScopedMetricsRegistry scope;
+    while (!go.load()) {
+    }
+    auto& c = MetricsRegistry::instance().counter("iso", "c");
+    for (int i = 0; i < kIters; ++i) {
+      c.add(step);
+      // Only this thread's increments are ever visible here.
+      if (MetricsRegistry::instance().counter_total("iso", "c") !=
+          step * (i + 1)) {
+        failures.fetch_add(1);
+      }
+    }
+  };
+  std::thread a(worker, 1), b(worker, 1000);
+  go.store(true);
+  a.join();
+  b.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(root.counter_total("iso", "c"), root_before);
+}
+
+TEST(Metrics, NestedScopedRegistriesRestoreInOrder) {
+  auto& root = MetricsRegistry::instance();
+  {
+    ScopedMetricsRegistry outer;
+    MetricsRegistry* outer_reg = &MetricsRegistry::instance();
+    {
+      ScopedMetricsRegistry inner;
+      EXPECT_NE(&MetricsRegistry::instance(), outer_reg);
+      MetricsRegistry::instance().counter("nest", "c").add(1);
+    }
+    EXPECT_EQ(&MetricsRegistry::instance(), outer_reg);
+    EXPECT_EQ(outer_reg->counter_total("nest", "c"), 0);
+  }
+  EXPECT_EQ(&MetricsRegistry::instance(), &root);
+}
+
+TEST(Metrics, SpawnedThreadStartsAtRootRegistry) {
+  auto& root = MetricsRegistry::instance();
+  ScopedMetricsRegistry scope;  // live on the spawning thread only
+  MetricsRegistry* seen = nullptr;
+  std::thread([&] { seen = &MetricsRegistry::instance(); }).join();
+  EXPECT_EQ(seen, &root);
+  EXPECT_NE(seen, &MetricsRegistry::instance());
+}
+
+TEST(Metrics, MergeFromAddsCountersGaugesAndHistograms) {
+  MetricsRegistry a, b;
+  a.counter("m", "c").add(3);
+  b.counter("m", "c").add(4);
+  b.counter("m", "only_b").add(1);
+  a.gauge("m", "g").add(1.5);
+  b.gauge("m", "g").add(2.0);
+  a.histogram("m", "h", {1, 10}).observe(0.5);
+  b.histogram("m", "h", {1, 10}).observe(5);
+  b.histogram("m", "h", {1, 10}).observe(100);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_total("m", "c"), 7);
+  EXPECT_EQ(a.counter_total("m", "only_b"), 1);
+  EXPECT_DOUBLE_EQ(a.gauge("m", "g").value(), 3.5);
+  const auto& h = a.histogram("m", "h", {1, 10});
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  EXPECT_EQ(h.buckets(), (std::vector<std::int64_t>{1, 1, 1}));
+  // b is untouched.
+  EXPECT_EQ(b.counter_total("m", "c"), 4);
+}
+
+TEST(Metrics, MergeFromIsOrderIndependentForIntegerAggregates) {
+  MetricsRegistry parts[3];
+  for (int i = 0; i < 3; ++i) {
+    parts[i].counter("m", "c").add(i + 1);
+    parts[i].histogram("m", "h", {2}).observe(i);
+  }
+  MetricsRegistry fwd, rev;
+  for (int i = 0; i < 3; ++i) fwd.merge_from(parts[i]);
+  for (int i = 2; i >= 0; --i) rev.merge_from(parts[i]);
+  EXPECT_EQ(fwd.counter_total("m", "c"), rev.counter_total("m", "c"));
+  EXPECT_EQ(fwd.histogram("m", "h", {2}).buckets(),
+            rev.histogram("m", "h", {2}).buckets());
+}
+
+TEST(Metrics, MergeFromRejectsMismatchedHistogramBounds) {
+  MetricsRegistry a, b;
+  a.histogram("m", "h", {1, 2}).observe(1);
+  b.histogram("m", "h", {1, 3}).observe(1);
+  EXPECT_THROW(a.merge_from(b), Error);
+}
+
 // --- EventBus --------------------------------------------------------------
 
 TEST(Events, InactiveBusIsSilentAndCheap) {
@@ -173,6 +275,36 @@ TEST(Events, MultipleSubscribersEachReceive) {
   obs::publish(SimTime::zero(), "c", "n", "x");
   EXPECT_EQ(a.events().size(), 1u);
   EXPECT_EQ(b.events().size(), 1u);
+}
+
+// Regression for the unsynchronized-singleton race: instance() is now one
+// bus per thread, so a subscription on this thread neither receives events
+// published by a worker thread nor perturbs the worker's own bus — the
+// exact shape of a SeedPool sweep running under a main-thread EventLog.
+TEST(Events, BusIsThreadLocal) {
+  EventLog main_log;
+  obs::EventBus* main_bus = &obs::EventBus::instance();
+  obs::EventBus* worker_bus = nullptr;
+  bool worker_bus_active = true;
+  std::size_t worker_log_events = 0;
+  std::thread([&] {
+    worker_bus = &obs::EventBus::instance();
+    worker_bus_active = obs::EventBus::instance().active();
+    // Worker publishes with no subscriber of its own: silent, and
+    // invisible to the main thread's log.
+    obs::publish(SimTime::seconds(1), "worker", "ev", "w");
+    // A worker-side subscription sees only worker-side events.
+    EventLog worker_log;
+    obs::publish(SimTime::seconds(2), "worker", "ev2", "w");
+    worker_log_events = worker_log.events().size();
+  }).join();
+  EXPECT_NE(worker_bus, main_bus);
+  EXPECT_FALSE(worker_bus_active);  // main-thread EventLog doesn't leak in
+  EXPECT_EQ(worker_log_events, 1u);
+  EXPECT_EQ(main_log.events().size(), 0u);
+  // The main-thread bus still works after the worker exits.
+  obs::publish(SimTime::seconds(3), "main", "ev3", "m");
+  EXPECT_EQ(main_log.events().size(), 1u);
 }
 
 // --- exporters -------------------------------------------------------------
